@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures full-figures examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every figure/claim series into benchmarks/out/ (scaled sizes).
+figures: bench
+	@ls benchmarks/out/
+
+# Paper-scale campaigns (hours).
+full-figures:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f"; $(PYTHON) $$f > /dev/null && echo OK || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .benchmarks .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,56 @@
+"""Ablation — does the utilization distribution change the Fig. 3 story?
+
+The paper only says task sets were "generated randomly"; DESIGN.md §5
+fixes the uniform-simplex default.  This ablation reruns a Fig.-3 probe
+point under the alternative distributions (i.i.d.-uniform rescaled,
+bimodal light/heavy, exponential) and reports the PD²-vs-EDF-FF gap: the
+qualitative conclusion — both within about one processor of each other,
+EDF-FF ahead by less than the FF fragmentation cap — is robust to the
+generation choice, which is why the unspecified detail does not threaten
+the reproduction.
+"""
+
+from conftest import full_scale, write_report
+
+from repro.analysis.report import format_table
+from repro.analysis.schedulability import evaluate_task_set
+from repro.analysis.stats import summarize
+from repro.overheads.model import OverheadModel
+from repro.workload.generator import TaskSetGenerator
+
+SETS = 200 if full_scale() else 20
+N = 50
+U = 12.0
+DISTRIBUTIONS = ["simplex", "uniform", "bimodal", "exponential"]
+
+
+def run_ablation():
+    model = OverheadModel()
+    rows = []
+    for dist in DISTRIBUTIONS:
+        gen = TaskSetGenerator(31337, utilization_sampler=dist)
+        m_pd2, m_ff = [], []
+        for _ in range(SETS):
+            point = evaluate_task_set(gen.generate(N, U), model)
+            if point.m_pd2 is not None:
+                m_pd2.append(point.m_pd2)
+            if point.m_ff is not None:
+                m_ff.append(point.m_ff)
+        sp, sf = summarize(m_pd2), summarize(m_ff)
+        rows.append([dist, round(sp.mean, 2), round(sf.mean, 2),
+                     round(sp.mean - sf.mean, 2)])
+    return rows
+
+
+def test_distribution_ablation(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report = format_table(
+        ["distribution", "M PD2", "M EDF-FF", "gap"],
+        rows,
+        title=f"Utilization-distribution ablation: N={N}, U={U}, "
+              f"{SETS} sets each")
+    write_report("ablation_distributions.txt", report)
+    for dist, m_pd2, m_ff, gap in rows:
+        # The Fig. 3 conclusion must hold under every distribution:
+        # the approaches stay within ~1.5 processors of each other.
+        assert abs(gap) <= 1.5, f"{dist}: gap {gap} breaks the conclusion"

@@ -1,0 +1,65 @@
+"""Ablation — partitioning heuristics (paper, Sec. 3).
+
+The paper discusses FF, BF, and the decreasing variants (FFD/BFD), noting
+that decreasing-order heuristics pack better but are impractical online
+(each arrival forces a re-sort and re-partition).  This bench measures the
+processors each heuristic opens on random task sets, and each heuristic's
+packing time — the quality/online-cost trade-off in one table.
+"""
+
+import time
+
+from conftest import full_scale, write_report
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import summarize
+from repro.partition.heuristics import partition
+from repro.workload.generator import TaskSetGenerator
+
+SETS = 300 if full_scale() else 40
+N = 60
+U = 20.0
+
+HEURISTICS = [
+    ("FF", "ff", "given"),
+    ("BF", "bf", "given"),
+    ("WF", "wf", "given"),
+    ("NF", "nf", "given"),
+    ("FFD", "ff", "decreasing_utilization"),
+    ("BFD", "bf", "decreasing_utilization"),
+]
+
+
+def run_heuristics():
+    results = {name: [] for name, _, _ in HEURISTICS}
+    times = {name: 0.0 for name, _, _ in HEURISTICS}
+    gen = TaskSetGenerator(4242)
+    for _ in range(SETS):
+        specs = gen.generate(N, U)
+        for name, placement, ordering in HEURISTICS:
+            t0 = time.perf_counter()
+            res = partition(specs, placement=placement, ordering=ordering)
+            times[name] += time.perf_counter() - t0
+            results[name].append(res.processors)
+    rows = []
+    for name, _, _ in HEURISTICS:
+        s = summarize(results[name])
+        rows.append([name, round(s.mean, 3), round(s.ci99_halfwidth, 3),
+                     round(times[name] / SETS * 1e6, 1)])
+    return rows
+
+
+def test_heuristic_ablation(benchmark):
+    rows = benchmark.pedantic(run_heuristics, rounds=1, iterations=1)
+    report = format_table(
+        ["heuristic", "mean processors", "ci99", "pack time us/set"], rows,
+        title=f"Partitioning heuristics on {SETS} sets of {N} tasks, U={U} "
+              "(EDF acceptance)")
+    write_report("ablation_heuristics.txt", report)
+    by_name = {r[0]: r[1] for r in rows}
+    # Decreasing orders never do worse on average than arrival order.
+    assert by_name["FFD"] <= by_name["FF"] + 1e-9
+    # Next fit is the weakest.
+    assert by_name["NF"] >= by_name["FF"]
+    # Worst fit spreads load and typically opens at least as many bins.
+    assert by_name["WF"] >= by_name["BF"] - 1e-9

@@ -1,0 +1,59 @@
+"""Ablation — the quantum-size trade-off (paper, Sec. 4 "Challenges").
+
+Pfair requires execution costs rounded up to whole quanta.  A smaller
+quantum shrinks that quantisation loss but multiplies the number of
+scheduler invocations and preemption charges per job (Eq. (3) charges
+``S_PD2`` per quantum and ``C + D`` per preemption opportunity).  The
+paper poses finding the optimal quantum as an open trade-off; this bench
+sweeps q and reports the PD² loss decomposition, exhibiting the U-shape.
+"""
+
+from conftest import full_scale, write_report
+
+from repro.analysis.report import format_table
+from repro.overheads.inflation import pd2_inflate_set, pd2_total_weight
+from repro.overheads.model import OverheadModel
+from repro.workload.generator import TaskSetGenerator
+from repro.workload.spec import total_utilization
+
+QUANTA = [250, 500, 1000, 2000, 5000, 10_000]  # µs
+SETS = 200 if full_scale() else 20
+N = 50
+U = 10.0
+
+
+def run_quantum_sweep(processors=12):
+    rows = []
+    for q in QUANTA:
+        total_loss = 0.0
+        infeasible = 0
+        for k in range(SETS):
+            gen = TaskSetGenerator(10_000 + k, quantum=q,
+                                   min_period=50_000, max_period=5_000_000)
+            specs = gen.generate(N, U)
+            model = OverheadModel(quantum=q)
+            inflations = pd2_inflate_set(specs, model, processors)
+            if not all(inf.feasible for inf in inflations):
+                infeasible += 1
+                continue
+            u_raw = float(total_utilization(specs))
+            u_inflated = float(pd2_total_weight(inflations))
+            total_loss += (u_inflated - u_raw) / processors
+        good = SETS - infeasible
+        rows.append([q, round(total_loss / good, 4) if good else float("nan"),
+                     infeasible])
+    return rows
+
+
+def test_quantum_size_ablation(benchmark):
+    rows = benchmark.pedantic(run_quantum_sweep, rounds=1, iterations=1)
+    report = format_table(
+        ["quantum us", "PD2 capacity loss", "infeasible sets"], rows,
+        title=f"Quantum-size trade-off: N={N}, U={U}, {SETS} sets per point "
+              "(loss = (U' - U)/M)")
+    write_report("ablation_quantum.txt", report)
+    losses = {q: loss for q, loss, _ in rows}
+    # A 10 ms quantum wastes far more than a 1 ms quantum (quantisation);
+    # per-quantum overhead keeps the smallest quantum from being free.
+    assert losses[10_000] > losses[1000]
+    assert losses[250] > 0

@@ -1,0 +1,94 @@
+"""Ablation — are PD²'s tie-breaks load-bearing?
+
+The paper: "Selecting appropriate tie-breaks turns out to be the most
+important concern in designing correct Pfair algorithms."  We compare the
+miss rates of PD² (both tie-breaks), PD (extra tie-breaks), PF (string
+tie-break), and EPDF (none) on random *feasible* task sets with total
+weight exactly M.  The optimal algorithms must never miss; EPDF does.
+"""
+
+import numpy as np
+from conftest import full_scale, write_report
+
+from repro.analysis.report import format_table
+from repro.core.epdf import EPDFScheduler
+from repro.core.pd import PDScheduler
+from repro.core.pd2 import PD2Scheduler
+from repro.core.pf import PFScheduler
+from repro.core.rational import Weight, weight_sum
+from repro.core.task import PeriodicTask
+
+TRIALS = 400 if full_scale() else 60
+SCHEDULERS = [("PD2", PD2Scheduler), ("PD", PDScheduler),
+              ("PF", PFScheduler), ("EPDF", EPDFScheduler)]
+
+
+def exact_fill_set(rng, processors, max_period=12):
+    """Random set with total weight exactly ``processors``."""
+    from math import lcm
+
+    pairs = []
+    total = Weight(0, 1)
+    for _ in range(200):
+        p = int(rng.integers(2, max_period))
+        e = int(rng.integers(1, p + 1))
+        w = Weight.of_task(e, p)
+        nt = weight_sum([Weight.of_task(*x) for x in pairs] + [w])
+        if nt <= processors:
+            pairs.append((e, p))
+            total = nt
+            if total == processors:
+                break
+        else:
+            rem_num = processors * total.den - total.num
+            if 0 < rem_num <= total.den <= max_period:
+                pairs.append((rem_num, total.den))
+                total = Weight(processors, 1)
+            break
+    if total != processors:
+        return None, None
+    horizon = min(lcm(*(p for _, p in pairs)), 240)
+    return pairs, horizon
+
+
+def run_ablation(processors=4):
+    rng = np.random.default_rng(2024)
+    sets_run = 0
+    missed_sets = {name: 0 for name, _ in SCHEDULERS}
+    missed_subtasks = {name: 0 for name, _ in SCHEDULERS}
+    worst_tardiness = {name: 0 for name, _ in SCHEDULERS}
+    while sets_run < TRIALS:
+        pairs, horizon = exact_fill_set(rng, processors)
+        if pairs is None:
+            continue
+        sets_run += 1
+        for name, cls in SCHEDULERS:
+            tasks = [PeriodicTask(e, p) for e, p in pairs]
+            res = cls(tasks, processors).run(horizon)
+            if res.stats.miss_count:
+                missed_sets[name] += 1
+                missed_subtasks[name] += res.stats.miss_count
+                from repro.analysis.tardiness import tardiness_profile
+
+                prof = tardiness_profile(res)
+                worst_tardiness[name] = max(worst_tardiness[name],
+                                            prof.max_tardiness)
+    rows = [[name, missed_sets[name],
+             f"{missed_sets[name] / sets_run:.1%}", missed_subtasks[name],
+             worst_tardiness[name]]
+            for name, _ in SCHEDULERS]
+    return sets_run, rows
+
+
+def test_tiebreak_ablation(benchmark):
+    sets_run, rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report = format_table(
+        ["algorithm", "sets with misses", "rate", "missed subtasks",
+         "worst tardiness (slots)"], rows,
+        title=f"Tie-break ablation on {sets_run} fully-loaded 4-CPU task sets")
+    write_report("ablation_tiebreaks.txt", report)
+    by_name = {r[0]: r[1] for r in rows}
+    assert by_name["PD2"] == 0
+    assert by_name["PD"] == 0
+    assert by_name["PF"] == 0
+    assert by_name["EPDF"] > 0, "EPDF should miss on some fully-loaded sets"

@@ -1,0 +1,56 @@
+"""The Fig. 3 crossover, located explicitly.
+
+Paper (Fig. 3 discussion): PD² overtakes EDF-FF near the top of the
+scanned utilization range for N = 50, and "the point at which PD²
+performs better than EDF-FF occurs at a higher total utilization" for
+larger task counts (lighter tasks partition better, while PD²'s
+quantisation loss is relatively larger for them).  This bench reports the
+crossover point — in total and in mean-task-utilization terms — per task
+count.
+"""
+
+from conftest import full_scale, write_report
+
+from repro.analysis.crossover import find_crossover
+from repro.analysis.report import format_table
+
+NS = [50, 100, 250] if full_scale() else [50, 100]
+POINTS = 14 if full_scale() else 8
+SETS = 200 if full_scale() else 25
+
+
+def run_crossovers():
+    out = []
+    for n in NS:
+        res = find_crossover(n, points=POINTS, sets_per_point=SETS,
+                             seed=17 * n)
+        out.append(res)
+    return out
+
+
+def test_crossover_moves_right_with_n(benchmark):
+    results = benchmark.pedantic(run_crossovers, rounds=1, iterations=1)
+    rows = []
+    for res in results:
+        if res.crossed:
+            rows.append([res.n_tasks,
+                         round(res.crossover_utilization, 2),
+                         round(res.crossover_mean_task_utilization, 4)])
+        else:
+            rows.append([res.n_tasks, "not in [N/30, N/3]", "-"])
+    report = format_table(
+        ["N tasks", "crossover total U", "crossover mean task u"],
+        rows,
+        title=f"Where PD2 catches EDF-FF ({SETS} sets/point; paper: at "
+              "~14 of [0, 16.7] for N=50, later for larger N)")
+    write_report("crossover.txt", report)
+
+    by_n = {r.n_tasks: r for r in results}
+    # N = 50 crosses within the scanned range (paper: at ~14).
+    assert by_n[50].crossed
+    assert by_n[50].crossover_mean_task_utilization > 0.2
+    # Larger N: the crossover in *mean task utilization* terms does not
+    # come earlier (paper: occurs at higher total utilization).
+    if by_n[100].crossed:
+        assert (by_n[100].crossover_mean_task_utilization
+                >= by_n[50].crossover_mean_task_utilization - 0.05)

@@ -1,0 +1,27 @@
+"""Fig. 1 — Pfair windows of a weight-8/11 periodic task and an IS task.
+
+Regenerates both panels as ASCII diagrams plus the parameter table
+(r, d, b, group deadline) the figure annotates.  The benchmark times the
+window-table construction — the memoised kernel every scheduler run
+depends on.
+"""
+
+from conftest import write_report
+
+from repro.analysis.figures import fig1_report
+from repro.core.subtask import WindowTable
+from repro.core.task import PeriodicTask
+
+
+def test_fig1_windows(benchmark):
+    benchmark(WindowTable, 8, 11)
+    report = fig1_report()
+    # Spot checks against the paper's stated values.
+    assert " 8" in report and " 11" in report
+    write_report("fig1_windows.txt", report)
+
+
+def test_fig1_group_deadlines_match_paper():
+    task = PeriodicTask(8, 11)
+    assert task.subtask(3).group_deadline == 8
+    assert task.subtask(7).group_deadline == 11

@@ -1,0 +1,47 @@
+"""Fig. 2(b) — PD² scheduling overhead for 2, 4, 8, and 16 processors.
+
+The paper's finding: PD²'s single sequential scheduler serves every
+processor, so per-invocation cost grows with M (still < 20 µs for 200
+tasks on 16 CPUs on their hardware).  That growth-in-M is structural —
+each invocation selects up to M subtasks — and reproduces directly here.
+"""
+
+from conftest import full_scale, write_report
+
+from repro.analysis.report import format_table
+from repro.overheads.measure import measure_pd2_overhead
+
+MS = [2, 4, 8, 16]
+NS = [15, 30, 50, 75, 100, 250, 500, 750, 1000] if full_scale() else \
+     [25, 100, 250]
+SETS = 1000 if full_scale() else 3
+SLOTS = 1_000_000 if full_scale() else 1000
+
+
+def run_fig2b():
+    rows = []
+    for n in NS:
+        row = [n]
+        for m in MS:
+            s = measure_pd2_overhead(n, m, task_sets=SETS, slots=SLOTS, seed=n)
+            row.append(round(s.mean_us, 2))
+        rows.append(row)
+    return rows
+
+
+def test_fig2b_overhead_multiprocessor(benchmark):
+    benchmark.pedantic(
+        measure_pd2_overhead, args=(100, 8),
+        kwargs=dict(task_sets=1, slots=300, seed=0),
+        rounds=3, iterations=1,
+    )
+    rows = run_fig2b()
+    report = format_table(
+        ["N tasks"] + [f"M={m} us" for m in MS], rows,
+        title="Fig. 2(b): PD2 scheduling overhead per slot vs processors "
+              "(paper: <20us for 200 tasks even at M=16)")
+    write_report("fig2b_overhead_multi.txt", report)
+    # Structural claim: cost grows with M at every N.
+    for row in rows:
+        costs = row[1:]
+        assert costs[-1] > costs[0], f"M=16 not costlier than M=2 at N={row[0]}"

@@ -1,0 +1,55 @@
+"""Fig. 4(a)–(b) — schedulability loss decomposition vs. mean utilization.
+
+Same campaign as Fig. 3 for N in {50, 100}, but reporting the fraction of
+provisioned capacity lost to each cause (formulas in DESIGN.md §5 — the
+paper plots these but does not define them):
+
+* ``Pfair`` — PD²'s overhead + quantisation loss, ``(U'_PD2 − U)/M_PD2``;
+* ``EDF``   — EDF-side inflation loss, ``(U'_EDF − U)/M_FF``;
+* ``FF``    — bin-packing fragmentation, ``(M_FF − ceil(U'_EDF))/M_FF``.
+
+Paper shape: Pfair's curve is the largest but flat-to-declining (relative
+quantisation loss shrinks as tasks grow); EDF's is small and declining;
+FF's starts near zero, is noisy (the paper reports ~17% relative error at
+low utilization), and grows with mean task utilization.
+"""
+
+import pytest
+from conftest import full_scale, write_report
+
+from repro.analysis.experiments import run_schedulability_campaign, utilization_grid
+from repro.analysis.figures import fig4_table
+from repro.analysis.report import format_series_plot
+
+NS = [50, 100] if full_scale() else [50]
+POINTS = 20 if full_scale() else 10
+SETS = 1000 if full_scale() else 25
+
+
+@pytest.mark.parametrize("n_tasks", NS)
+def test_fig4_schedulability_loss(benchmark, n_tasks):
+    grid = utilization_grid(n_tasks, points=POINTS)
+    rows = benchmark.pedantic(
+        run_schedulability_campaign,
+        args=(n_tasks, grid),
+        kwargs=dict(sets_per_point=SETS, seed=1000 + n_tasks),
+        rounds=1, iterations=1,
+    )
+    report = fig4_table(rows, n_tasks, SETS)
+    plot = format_series_plot(
+        [r.mean_utilization for r in rows],
+        {"P": [r.loss_pfair.mean for r in rows],
+         "E": [r.loss_edf.mean for r in rows],
+         "F": [r.loss_ff.mean for r in rows]},
+        title="P = Pfair, E = EDF overhead, F = FF fragmentation")
+    write_report(f"fig4_n{n_tasks}.txt", report + "\n\n" + plot)
+
+    low, high = rows[0], rows[-1]
+    # EDF overhead loss declines with utilization; FF fragmentation grows.
+    assert high.loss_edf.mean < low.loss_edf.mean
+    assert high.loss_ff.mean >= low.loss_ff.mean
+    # All losses are single-digit-percent-scale quantities, as in the paper.
+    for r in rows:
+        assert 0.0 <= r.loss_edf.mean < 0.05
+        assert 0.0 <= r.loss_pfair.mean < 0.15
+        assert 0.0 <= r.loss_ff.mean < 0.25

@@ -1,0 +1,57 @@
+"""Performance regression — PD² simulator throughput scaling.
+
+DESIGN.md §6 promises O(M log N) per slot from the event-driven design
+(one live subtask per task, heap-ordered releases, memoised window
+tables).  This bench measures slots/second across task counts and
+processor counts and asserts the scaling stays sub-linear in N — the
+guard that keeps future changes from quietly reintroducing per-slot
+O(N) scans.
+"""
+
+import time
+
+from conftest import full_scale, write_report
+
+from repro.analysis.report import format_table
+from repro.core.pd2 import PD2Scheduler
+from repro.workload.generator import TaskSetGenerator, specs_to_pfair_tasks
+
+SLOTS = 20_000 if full_scale() else 3_000
+NS = [50, 200, 800]
+M = 4
+
+
+def throughput(n_tasks: int, processors: int, slots: int) -> float:
+    gen = TaskSetGenerator(1, quantum=1, min_period=50, max_period=5000)
+    specs = gen.generate(n_tasks, 0.85 * processors)
+    tasks = specs_to_pfair_tasks(specs)
+    sim = PD2Scheduler(tasks, processors)
+    t0 = time.perf_counter()
+    for t in range(slots):
+        sim.step(t)
+    dt = time.perf_counter() - t0
+    return slots / dt
+
+
+def run_scaling():
+    rows = []
+    for n in NS:
+        rate = throughput(n, M, SLOTS)
+        rows.append([n, M, round(rate / 1000, 1)])
+    return rows
+
+
+def test_pd2_throughput_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    report = format_table(
+        ["N tasks", "processors", "kslots/s"],
+        rows,
+        title=f"PD² simulator throughput over {SLOTS} slots "
+              "(event-driven: cost per slot ~ O(M log N))")
+    write_report("scaling.txt", report)
+    rate_small = rows[0][2]
+    rate_large = rows[-1][2]
+    # 16x more tasks must cost far less than 16x the time per slot.
+    assert rate_large > rate_small / 6, (
+        f"throughput fell superlinearly: {rate_small} -> {rate_large} kslots/s"
+    )

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The Dhall effect: why naive global scheduling failed, and Pfair doesn't.
+
+Sec. 3 of the paper recalls Dhall & Liu's classic result — global EDF or
+RM can miss deadlines at total utilization barely above 1 on *any* number
+of processors — which is why partitioning dominated for 25 years, and why
+Pfair's optimality (full utilization of all M processors) is remarkable.
+
+The construction: M light tasks (tiny cost, period 1) plus one heavy task
+(cost 1, period 1+ε).  Everything releases together; the light jobs have
+the earlier deadlines/shorter periods, occupy all M processors for a
+moment, and the heavy job can no longer finish by its deadline — even
+though total utilization tends to 1 as ε → 0.
+
+Run:  python examples/dhall_effect.py
+"""
+
+from repro.core.rational import weight_sum
+from repro.core.task import PeriodicTask
+from repro.sim.globaledf import dhall_task_set, simulate_global
+from repro.sim.quantum import simulate_pfair
+
+
+def main() -> None:
+    print(f"{'M':>3} {'total U':>8} {'U/M':>6}  global EDF  global RM  PD2")
+    for m in (2, 4, 8, 16):
+        tasks = dhall_task_set(m, scale=1000, epsilon_inverse=25)
+        u = sum(t.utilization for t in tasks)
+        edf = simulate_global(tasks, m, 4200, policy="edf")
+        rm = simulate_global(dhall_task_set(m, scale=1000, epsilon_inverse=25),
+                             m, 4200, policy="rm")
+        # The same shape on the Pfair quantum grid: M light (2, 25) tasks
+        # plus one heavy (25, 26) task.
+        pfair_tasks = [PeriodicTask(2, 25) for _ in range(m)] + \
+            [PeriodicTask(25, 26)]
+        assert weight_sum(t.weight for t in pfair_tasks) <= m
+        pd2 = simulate_pfair(pfair_tasks, m, 26 * 25)
+        print(f"{m:>3} {u:>8.3f} {u / m:>6.3f}  "
+              f"{edf.miss_count:>6} miss  {rm.miss_count:>5} miss  "
+              f"{pd2.stats.miss_count:>2} miss")
+    print()
+    print("Global EDF/RM miss at a vanishing fraction of capacity (U/M");
+    print("column); PD2 schedules the same shape with zero misses — the")
+    print("deadline-tie machinery (b-bits, group deadlines) is doing real")
+    print("work that job-level priorities cannot.")
+
+
+if __name__ == "__main__":
+    main()

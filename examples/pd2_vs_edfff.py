@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment, in miniature: PD² vs. EDF-FF.
+
+Draws random task sets at three load levels, applies the Eq. (3)
+overhead-aware schedulability tests, and prints the minimum processor
+counts side by side — a single-page version of Fig. 3, with the same
+constants (C = 5 µs, D(T) ~ U[0, 100] µs, q = 1 ms, S curves from
+Fig. 2).
+
+Run:  python examples/pd2_vs_edfff.py
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.schedulability import evaluate_task_set
+from repro.analysis.stats import summarize
+from repro.overheads.model import OverheadModel
+from repro.workload.generator import TaskSetGenerator
+
+N_TASKS = 50
+SETS_PER_POINT = 25
+LOADS = [("light (mean u = 1/30)", N_TASKS / 30),
+         ("medium (mean u = 1/6)", N_TASKS / 6),
+         ("heavy (mean u = 1/3)", N_TASKS / 3)]
+
+
+def main() -> None:
+    model = OverheadModel()
+    rows = []
+    for label, u in LOADS:
+        gen = TaskSetGenerator(seed=int(u * 100))
+        m_pd2, m_ff = [], []
+        for _ in range(SETS_PER_POINT):
+            point = evaluate_task_set(gen.generate(N_TASKS, u), model)
+            if point.m_pd2 is not None:
+                m_pd2.append(point.m_pd2)
+            if point.m_ff is not None:
+                m_ff.append(point.m_ff)
+        sp, sf = summarize(m_pd2), summarize(m_ff)
+        rows.append([label, round(u, 1),
+                     f"{sp.mean:.2f} ± {sp.ci99_halfwidth:.2f}",
+                     f"{sf.mean:.2f} ± {sf.ci99_halfwidth:.2f}"])
+    print(format_table(
+        ["load", "total U", "processors (PD2)", "processors (EDF-FF)"],
+        rows,
+        title=f"Minimum processors for {N_TASKS} tasks, "
+              f"{SETS_PER_POINT} random sets per row (99% CIs)"))
+    print()
+    print("Reading the table the way the paper reads Fig. 3: at light load")
+    print("the approaches coincide; in the middle EDF-FF's smaller overheads")
+    print("win; at heavy per-task utilizations bin-packing fragmentation")
+    print("catches up with it and PD² is fully competitive — while also")
+    print("bringing synchronization, isolation, dynamic tasks, and fault")
+    print("tolerance for free (paper, Sec. 5).")
+
+
+if __name__ == "__main__":
+    main()

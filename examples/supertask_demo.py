@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Supertasking (paper, Fig. 5): binding tasks to a processor, safely.
+
+Device-driver-style tasks must run on one processor; Moir & Ramamurthy's
+supertasks bundle them behind one Pfair stand-in.  This demo reproduces
+both halves of the paper's story: the naive cumulative weight loses a
+component deadline, and Holman–Anderson's ``+1/p_min`` reweighting fixes
+it.
+
+Run:  python examples/supertask_demo.py
+"""
+
+from repro.core.supertask import Supertask, SupertaskSystem
+from repro.core.task import PeriodicTask
+from repro.sim.trace import render_schedule
+
+HORIZON = 900
+
+
+def run(reweight: bool):
+    T = PeriodicTask(1, 5, name="T")     # e.g. a NIC driver
+    U = PeriodicTask(1, 45, name="U")    # e.g. a sensor poller
+    others = [PeriodicTask(1, 2, name="V"), PeriodicTask(1, 3, name="W"),
+              PeriodicTask(1, 3, name="X"), PeriodicTask(2, 9, name="Y")]
+    S = Supertask([T, U], name="S", reweight=reweight)
+    system = SupertaskSystem(others + [S], processors=2)
+    result, dispatches = system.run(HORIZON)
+    return S, others, result, dispatches[S.task_id]
+
+
+def main() -> None:
+    print("Fig. 5 task set: V=1/2, W=X=1/3, Y=2/9, S={T=1/5, U=1/45}\n")
+
+    S, others, result, dispatch = run(reweight=False)
+    print(f"naive supertask, wt(S) = {S.weight}:")
+    print(f"  top-level misses: {result.stats.miss_count} "
+          "(PD² is fine — the problem is inside S)")
+    print(f"  component deadline misses over {HORIZON} slots: "
+          f"{dispatch.miss_count}")
+    first = dispatch.misses[0]
+    print(f"  first: {first.task.name}[{first.subtask_index}] missed "
+          f"deadline {first.deadline}")
+    print("\nfirst 12 slots (cf. the paper's Fig. 5 picture):")
+    print(render_schedule(result.trace, others + [S], 12))
+
+    S2, _, result2, dispatch2 = run(reweight=True)
+    print(f"\nreweighted supertask (Holman–Anderson +1/p_min), "
+          f"wt(S) = {S2.weight}:")
+    print(f"  component deadline misses over {HORIZON} slots: "
+          f"{dispatch2.miss_count}")
+    assert dispatch.miss_count > 0 and dispatch2.miss_count == 0
+    print("\nThe inflation buys the internal EDF dispatcher enough quanta to")
+    print("cover every component window — bound tasks without lost deadlines.")
+
+
+if __name__ == "__main__":
+    main()

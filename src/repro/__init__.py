@@ -1,0 +1,51 @@
+"""repro — reproduction of "The Case for Fair Multiprocessor Scheduling".
+
+A production-quality implementation of Pfair multiprocessor scheduling
+(PF, PD, PD², ERfair, intra-sporadic tasks, supertasking) and the EDF-FF
+partitioning approach it is compared against, together with the overhead
+models, workload generators, and experiment harnesses needed to regenerate
+every figure of the paper.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+from .core import (
+    EPDFPriority,
+    ERPD2Scheduler,
+    PD2Scheduler,
+    IntraSporadicTask,
+    PD2Priority,
+    PDPriority,
+    PeriodicTask,
+    PFPriority,
+    PfairTask,
+    SporadicTask,
+    TaskSet,
+    Weight,
+    weight_sum,
+)
+from .core import schedule_erfair, schedule_pd2
+from .sim import QuantumSimulator, SimResult, simulate_pfair
+
+__all__ = [
+    "__version__",
+    "Weight",
+    "weight_sum",
+    "PfairTask",
+    "PeriodicTask",
+    "SporadicTask",
+    "IntraSporadicTask",
+    "TaskSet",
+    "PD2Priority",
+    "PDPriority",
+    "PFPriority",
+    "EPDFPriority",
+    "QuantumSimulator",
+    "SimResult",
+    "simulate_pfair",
+    "PD2Scheduler",
+    "schedule_pd2",
+    "ERPD2Scheduler",
+    "schedule_erfair",
+]

@@ -1,0 +1,45 @@
+"""Analysis: sample statistics with 99% CIs, overhead-aware schedulability
+evaluation (Figs. 3–4), campaign runners, and ASCII reporting."""
+
+from .crossover import CrossoverResult, find_crossover
+from .persistence import load_campaign, merge_campaigns, save_campaign
+from .experiments import (
+    CampaignRow,
+    full_scale,
+    run_schedulability_campaign,
+    utilization_grid,
+)
+from .report import format_series_plot, format_table, print_table
+from .schedulability import (
+    SchedulabilityPoint,
+    edf_ff_min_processors,
+    evaluate_task_set,
+    pd2_min_processors,
+)
+from .stats import SampleStats, confidence_halfwidth, summarize
+from .tardiness import TardinessProfile, epdf_tardiness_experiment, tardiness_profile
+
+__all__ = [
+    "CrossoverResult",
+    "find_crossover",
+    "save_campaign",
+    "load_campaign",
+    "merge_campaigns",
+    "CampaignRow",
+    "full_scale",
+    "run_schedulability_campaign",
+    "utilization_grid",
+    "format_table",
+    "format_series_plot",
+    "print_table",
+    "SchedulabilityPoint",
+    "evaluate_task_set",
+    "pd2_min_processors",
+    "edf_ff_min_processors",
+    "SampleStats",
+    "summarize",
+    "confidence_halfwidth",
+    "TardinessProfile",
+    "tardiness_profile",
+    "epdf_tardiness_experiment",
+]

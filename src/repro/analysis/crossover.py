@@ -1,0 +1,76 @@
+"""Locating the PD²/EDF-FF crossover — the paper's Fig. 3 reading.
+
+The paper: "EDF consistently gives better performance than PD² in the
+range [4, 14), after which PD² gives slightly better performance" (N=50),
+and "the point at which PD² performs better than EDF-FF occurs at a
+higher total utilization" as N grows (because for a fixed total
+utilization, more tasks means lighter tasks, which partition better while
+quantisation hurts PD² relatively more).
+
+:func:`find_crossover` scans a utilization grid and returns the first
+point from the top of the range downward at which PD²'s mean processor
+count is at most EDF-FF's, with both means estimated over ``sets_per
+point`` random sets.  Expressed as *mean task utilization* (U/N) the
+crossover is comparable across task counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..overheads.model import OverheadModel
+from .experiments import CampaignRow, run_schedulability_campaign
+
+__all__ = ["CrossoverResult", "find_crossover"]
+
+
+@dataclass(frozen=True)
+class CrossoverResult:
+    """Where (if anywhere) PD² catches EDF-FF on the scanned grid."""
+
+    n_tasks: int
+    #: Total utilization of the first scanned point (from the top of the
+    #: grid downward) where mean M_PD2 <= mean M_FF; None if nowhere.
+    crossover_utilization: Optional[float]
+    rows: List[CampaignRow]
+
+    @property
+    def crossover_mean_task_utilization(self) -> Optional[float]:
+        if self.crossover_utilization is None:
+            return None
+        return self.crossover_utilization / self.n_tasks
+
+    @property
+    def crossed(self) -> bool:
+        return self.crossover_utilization is not None
+
+
+def find_crossover(n_tasks: int, *, points: int = 10,
+                   sets_per_point: int = 20, seed: int = 0,
+                   model: Optional[OverheadModel] = None,
+                   utilizations: Optional[Sequence[float]] = None,
+                   workers: int = 1) -> CrossoverResult:
+    """Scan the paper's U-range (N/30 .. N/3 by default) for the
+    crossover.
+
+    The scan walks from the *highest* utilization downward and reports
+    the largest contiguous region from the top where PD² is at least
+    tied — matching how the paper describes the curves ("after which PD²
+    gives slightly better performance").
+    """
+    from .experiments import utilization_grid
+
+    grid = list(utilizations) if utilizations is not None \
+        else utilization_grid(n_tasks, points=points)
+    rows = run_schedulability_campaign(
+        n_tasks, grid, sets_per_point=sets_per_point, seed=seed,
+        model=model, workers=workers)
+    crossover: Optional[float] = None
+    for row in reversed(rows):
+        if row.m_pd2.mean <= row.m_ff.mean:
+            crossover = row.utilization
+        else:
+            break
+    return CrossoverResult(n_tasks=n_tasks, crossover_utilization=crossover,
+                           rows=rows)

@@ -1,0 +1,125 @@
+"""Campaign runner: seeded parameter sweeps over random task sets.
+
+The paper's Figs. 3–4 are Monte-Carlo sweeps: for each task count ``N``
+and each target total utilization (from ``N/30`` to ``N/3``), generate
+many random sets, evaluate each, and plot means with 99% CIs.  This module
+runs exactly that, scaled by ``sets_per_point`` (the paper used 1000; the
+default benches use fewer and print CIs so the precision is visible —
+``REPRO_FULL=1`` restores paper scale).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..overheads.model import OverheadModel
+from ..workload.generator import TaskSetGenerator
+from .schedulability import SchedulabilityPoint, evaluate_task_set
+from .stats import SampleStats, summarize
+
+__all__ = [
+    "full_scale",
+    "utilization_grid",
+    "CampaignRow",
+    "run_schedulability_campaign",
+]
+
+
+def _evaluate_grid_point(args: Tuple[int, float, int, int,
+                                     Optional[OverheadModel]]
+                         ) -> List[SchedulabilityPoint]:
+    """Worker for one (N, U) grid point — module-level so it pickles.
+
+    Campaign points are embarrassingly parallel: each owns a generator
+    seeded from ``(seed, point index)``, so the parallel and serial runs
+    produce byte-identical statistics.
+    """
+    n_tasks, u, sets_per_point, point_seed, model = args
+    if model is None:
+        model = OverheadModel()
+    gen = TaskSetGenerator(point_seed)
+    return [evaluate_task_set(gen.generate(n_tasks, u), model)
+            for _ in range(sets_per_point)]
+
+
+def full_scale() -> bool:
+    """True when the environment asks for paper-scale campaigns."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def utilization_grid(n_tasks: int, points: int = 20) -> List[float]:
+    """The paper's Fig. 3 x-axis: total utilizations from N/30 to N/3."""
+    lo, hi = n_tasks / 30, n_tasks / 3
+    if points < 2:
+        return [hi]
+    step = (hi - lo) / (points - 1)
+    return [lo + i * step for i in range(points)]
+
+
+@dataclass
+class CampaignRow:
+    """Aggregated results for one (N, U) grid point."""
+
+    n_tasks: int
+    utilization: float
+    mean_utilization: float       # mean task utilization U/N (Fig. 4 x-axis)
+    m_pd2: SampleStats
+    m_ff: SampleStats
+    loss_pfair: SampleStats
+    loss_edf: SampleStats
+    loss_ff: SampleStats
+    infeasible_pd2: int
+    infeasible_ff: int
+
+
+def run_schedulability_campaign(
+    n_tasks: int,
+    utilizations: Sequence[float],
+    *,
+    sets_per_point: int = 50,
+    seed: int = 0,
+    model: Optional[OverheadModel] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
+) -> List[CampaignRow]:
+    """The Fig. 3/4 campaign for one task count.
+
+    One seeded generator per grid point (seed offset by the point index)
+    keeps points independently reproducible and embarrassingly parallel:
+    with ``workers > 1`` the grid points run in a process pool and the
+    results are byte-identical to the serial run.  (The per-set work is
+    pure Python, so processes — not threads — are what buys wall-clock;
+    default models pickle fine, custom ``sched_*`` callables must too.)
+    """
+    jobs = [(n_tasks, u, sets_per_point, seed + 7919 * k, model)
+            for k, u in enumerate(utilizations)]
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            all_points = list(pool.map(_evaluate_grid_point, jobs))
+    else:
+        all_points = [_evaluate_grid_point(job) for job in jobs]
+    rows: List[CampaignRow] = []
+    for u, points in zip(utilizations, all_points):
+        if progress is not None:
+            progress(f"N={n_tasks} U={u:.2f}: {len(points)} sets evaluated")
+        m_pd2 = [p.m_pd2 for p in points if p.m_pd2 is not None]
+        m_ff = [p.m_ff for p in points if p.m_ff is not None]
+        lp = [p.loss_pfair for p in points if p.loss_pfair is not None]
+        le = [p.loss_edf for p in points if p.loss_edf is not None]
+        lf = [p.loss_ff for p in points if p.loss_ff is not None]
+        rows.append(CampaignRow(
+            n_tasks=n_tasks,
+            utilization=u,
+            mean_utilization=u / n_tasks,
+            m_pd2=summarize(m_pd2 or [float("nan")]),
+            m_ff=summarize(m_ff or [float("nan")]),
+            loss_pfair=summarize(lp or [float("nan")]),
+            loss_edf=summarize(le or [float("nan")]),
+            loss_ff=summarize(lf or [float("nan")]),
+            infeasible_pd2=sum(1 for p in points if p.m_pd2 is None),
+            infeasible_ff=sum(1 for p in points if p.m_ff is None),
+        ))
+    return rows

@@ -1,0 +1,128 @@
+"""Campaign persistence: save, load, and merge Monte-Carlo results.
+
+Paper-scale campaigns (1000 sets per point, several task counts) take
+hours in Python; this module makes them restartable and shareable:
+
+* :func:`save_campaign` / :func:`load_campaign` — JSON round trip of
+  :class:`~repro.analysis.experiments.CampaignRow` lists, with enough
+  provenance (seed, sets per point, generator identity) to refuse
+  accidental mixing;
+* :func:`merge_campaigns` — combine runs of the *same* grid made with
+  different seeds into one higher-precision campaign (statistics are
+  merged exactly from the sufficient statistics n, mean, M2).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from .experiments import CampaignRow
+from .stats import SampleStats
+
+__all__ = ["save_campaign", "load_campaign", "merge_campaigns"]
+
+_STAT_FIELDS = ("m_pd2", "m_ff", "loss_pfair", "loss_edf", "loss_ff")
+
+
+def _stats_to_dict(s: SampleStats) -> Dict[str, Any]:
+    return {"n": s.n, "mean": s.mean, "std": s.std,
+            "ci99_halfwidth": None if math.isinf(s.ci99_halfwidth)
+            else s.ci99_halfwidth}
+
+
+def _stats_from_dict(d: Dict[str, Any]) -> SampleStats:
+    half = d["ci99_halfwidth"]
+    return SampleStats(n=d["n"], mean=d["mean"], std=d["std"],
+                       ci99_halfwidth=float("inf") if half is None else half)
+
+
+def save_campaign(path: Union[str, Path], rows: Sequence[CampaignRow], *,
+                  seed: int, sets_per_point: int,
+                  note: str = "") -> None:
+    """Write campaign rows plus provenance to ``path`` (JSON)."""
+    payload = {
+        "format": "repro-campaign-v1",
+        "seed": seed,
+        "sets_per_point": sets_per_point,
+        "note": note,
+        "rows": [
+            {
+                "n_tasks": r.n_tasks,
+                "utilization": r.utilization,
+                "mean_utilization": r.mean_utilization,
+                "infeasible_pd2": r.infeasible_pd2,
+                "infeasible_ff": r.infeasible_ff,
+                **{f: _stats_to_dict(getattr(r, f)) for f in _STAT_FIELDS},
+            }
+            for r in rows
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_campaign(path: Union[str, Path]) -> List[CampaignRow]:
+    """Read campaign rows back; raises ``ValueError`` on format mismatch."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("format") != "repro-campaign-v1":
+        raise ValueError(f"{path}: not a repro campaign file")
+    rows: List[CampaignRow] = []
+    for rd in data["rows"]:
+        rows.append(CampaignRow(
+            n_tasks=rd["n_tasks"],
+            utilization=rd["utilization"],
+            mean_utilization=rd["mean_utilization"],
+            infeasible_pd2=rd["infeasible_pd2"],
+            infeasible_ff=rd["infeasible_ff"],
+            **{f: _stats_from_dict(rd[f]) for f in _STAT_FIELDS},
+        ))
+    return rows
+
+
+def _merge_stats(a: SampleStats, b: SampleStats) -> SampleStats:
+    """Exact pooled mean/std from the two samples' sufficient statistics."""
+    n = a.n + b.n
+    if n == 0:
+        raise ValueError("cannot merge empty samples")
+    mean = (a.n * a.mean + b.n * b.mean) / n
+    # Pooled M2 (sum of squared deviations) via Chan et al.'s update.
+    m2 = (a.std ** 2) * max(a.n - 1, 0) + (b.std ** 2) * max(b.n - 1, 0)
+    delta = b.mean - a.mean
+    m2 += delta * delta * a.n * b.n / n
+    std = math.sqrt(m2 / (n - 1)) if n > 1 else 0.0
+    from .stats import _quantile99  # reuse the table
+
+    half = _quantile99(n) * std / math.sqrt(n) if n > 1 else float("inf")
+    return SampleStats(n=n, mean=mean, std=std, ci99_halfwidth=half)
+
+
+def merge_campaigns(a: Sequence[CampaignRow],
+                    b: Sequence[CampaignRow]) -> List[CampaignRow]:
+    """Pool two campaigns over the same (N, U) grid.
+
+    The inputs must align row for row (same task counts and utilization
+    grid); seeds should differ or the pooled CI will be misleadingly
+    narrow — callers own that discipline, as with any Monte-Carlo merge.
+    """
+    if len(a) != len(b):
+        raise ValueError("campaigns have different grid sizes")
+    out: List[CampaignRow] = []
+    for ra, rb in zip(a, b):
+        if ra.n_tasks != rb.n_tasks or \
+                abs(ra.utilization - rb.utilization) > 1e-9:
+            raise ValueError(
+                f"grid mismatch: ({ra.n_tasks}, {ra.utilization}) vs "
+                f"({rb.n_tasks}, {rb.utilization})"
+            )
+        out.append(CampaignRow(
+            n_tasks=ra.n_tasks,
+            utilization=ra.utilization,
+            mean_utilization=ra.mean_utilization,
+            infeasible_pd2=ra.infeasible_pd2 + rb.infeasible_pd2,
+            infeasible_ff=ra.infeasible_ff + rb.infeasible_ff,
+            **{f: _merge_stats(getattr(ra, f), getattr(rb, f))
+               for f in _STAT_FIELDS},
+        ))
+    return out

@@ -1,0 +1,76 @@
+"""ASCII reporting: print the same rows/series the paper's figures plot."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "format_series_plot"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
+                 title: Optional[str] = None) -> str:
+    """Monospace table with right-aligned numeric-looking cells."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
+                title: Optional[str] = None) -> None:
+    """Print :func:`format_table` output to stdout."""
+    print(format_table(headers, rows, title=title))
+
+
+def _cell(v: object) -> str:
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_series_plot(xs: Sequence[float], series: dict, *,
+                       width: int = 68, height: int = 16,
+                       title: Optional[str] = None) -> str:
+    """A small ASCII scatter of several named series against shared axes —
+    enough to eyeball the crossovers the paper's figures show.
+
+    ``series`` maps a single-character label to a list of y values aligned
+    with ``xs``.
+    """
+    pts = [(x, y, label)
+           for label, ys in series.items()
+           for x, y in zip(xs, ys)
+           if y == y]  # drop NaN
+    if not pts:
+        return "(no data)"
+    xmin, xmax = min(p[0] for p in pts), max(p[0] for p in pts)
+    ymin, ymax = min(p[1] for p in pts), max(p[1] for p in pts)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, label in pts:
+        col = int((x - xmin) / xspan * (width - 1))
+        row = height - 1 - int((y - ymin) / yspan * (height - 1))
+        cell = grid[row][col]
+        grid[row][col] = "*" if cell not in (" ", label) else label
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {ymin:.3g} .. {ymax:.3g}   ('*' = overlap)")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(f"x: {xmin:.3g} .. {xmax:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Overhead-aware schedulability: the computations behind Figs. 3 and 4.
+
+For each random task set the paper computes, after Eq. (3) inflation, the
+minimum number of processors each approach needs:
+
+* **PD²** — smallest ``M`` with ``sum of quantised inflated weights <= M``
+  (Eq. (2)).  The scheduling cost ``S_PD2(N, M)`` grows with ``M``, so the
+  search re-inflates at every candidate ``M``; the total weight is
+  monotone in ``M``, so the first success is minimal.
+* **EDF-FF** — the number of bins first fit opens with the overhead-aware
+  EDF acceptance test, tasks fed in decreasing-period order (Sec. 4).
+
+Fig. 4 decomposes the gap between raw utilization and provisioned
+processors into named losses (formulas fixed in DESIGN.md §5, since the
+paper plots but does not define them):
+
+* ``loss_edf  = (U'_EDF − U) / M_FF``   — capacity lost to EDF-side
+  overhead inflation;
+* ``loss_ff   = (M_FF − ceil(U'_EDF)) / M_FF`` — capacity lost to
+  bin-packing fragmentation *beyond* the unavoidable whole-processor
+  ceiling (any approach, including an ideal packer, needs
+  ``ceil(U'_EDF)`` processors — counting that slack as "partitioning
+  loss" would swamp the curve at small M);
+* ``loss_pfair = (U'_PD2 − U) / M_PD2`` — capacity lost to PD² overheads,
+  including quantisation.  PD² provisions exactly ``ceil(U'_PD2)``
+  processors — it never fragments — so it has no analogue of ``loss_ff``.
+
+where ``U`` is raw utilization, ``U'_EDF`` the packed inflated utilization
+and ``U'_PD2`` the total quantised inflated weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..overheads.inflation import pd2_inflate_set, pd2_total_weight
+from ..overheads.model import OverheadModel
+from ..partition.heuristics import PartitionFailure
+from ..partition.partitioner import edf_ff
+from ..workload.spec import TaskSpec, total_utilization
+
+__all__ = [
+    "pd2_min_processors",
+    "edf_ff_min_processors",
+    "SchedulabilityPoint",
+    "evaluate_task_set",
+]
+
+
+def pd2_min_processors(specs: Sequence[TaskSpec], model: OverheadModel, *,
+                       max_processors: Optional[int] = None) -> Optional[int]:
+    """Smallest M passing the PD² feasibility test with Eq. (3) inflation.
+
+    Returns ``None`` if no M up to ``max_processors`` (default: task count,
+    since one processor per task is the most any feasible set needs —
+    a task whose inflated weight still exceeds 1 can never be scheduled)
+    suffices.
+    """
+    if not specs:
+        return 1
+    cap = max_processors if max_processors is not None else len(specs)
+    u_raw = total_utilization(specs)
+    m = max(1, -(-u_raw.numerator // u_raw.denominator))  # ceil
+    while m <= cap:
+        inflations = pd2_inflate_set(specs, model, m)
+        if all(inf.feasible for inf in inflations):
+            total = pd2_total_weight(inflations)
+            if total <= m:
+                return m
+            # Jump straight to the implied lower bound instead of +1 steps.
+            m = max(m + 1, -(-total.numerator // total.denominator))
+        else:
+            return None  # some task infeasible alone; more CPUs won't help
+    return None
+
+
+def edf_ff_min_processors(specs: Sequence[TaskSpec],
+                          model: OverheadModel) -> Optional[int]:
+    """Processors EDF-FF opens with overhead-aware acceptance (Sec. 4)."""
+    if not specs:
+        return 1
+    try:
+        result = edf_ff(specs,
+                        overhead_inflation=model.edf_fixed_inflation(len(specs)))
+    except PartitionFailure:
+        return None
+    return result.processors
+
+
+@dataclass(frozen=True)
+class SchedulabilityPoint:
+    """Everything Figs. 3 and 4 need about one task set."""
+
+    n_tasks: int
+    utilization: float          # raw U
+    m_pd2: Optional[int]
+    m_ff: Optional[int]
+    inflated_u_pd2: Optional[float]   # U'_PD2 at m_pd2
+    inflated_u_edf: Optional[float]   # U'_EDF as packed by FF
+    pd2_iterations_max: int            # Eq. (3) fixed-point iteration count
+
+    @property
+    def loss_pfair(self) -> Optional[float]:
+        if self.m_pd2 is None or self.inflated_u_pd2 is None:
+            return None
+        return (self.inflated_u_pd2 - self.utilization) / self.m_pd2
+
+    @property
+    def loss_edf(self) -> Optional[float]:
+        if self.m_ff is None or self.inflated_u_edf is None:
+            return None
+        return (self.inflated_u_edf - self.utilization) / self.m_ff
+
+    @property
+    def loss_ff(self) -> Optional[float]:
+        if self.m_ff is None or self.inflated_u_edf is None:
+            return None
+        import math
+
+        return (self.m_ff - math.ceil(self.inflated_u_edf)) / self.m_ff
+
+
+def evaluate_task_set(specs: Sequence[TaskSpec],
+                      model: OverheadModel) -> SchedulabilityPoint:
+    """Compute the Fig. 3/Fig. 4 quantities for one task set."""
+    u_raw = float(total_utilization(specs))
+    m_pd2 = pd2_min_processors(specs, model)
+    u_pd2 = None
+    iters = 0
+    if m_pd2 is not None:
+        inflations = pd2_inflate_set(specs, model, m_pd2)
+        u_pd2 = float(pd2_total_weight(inflations))
+        iters = max(inf.iterations for inf in inflations)
+    u_edf = None
+    m_ff = None
+    if specs:
+        try:
+            packing = edf_ff(
+                specs,
+                overhead_inflation=model.edf_fixed_inflation(len(specs)))
+            m_ff = packing.processors
+            u_edf = float(packing.partition.total_load())
+        except PartitionFailure:
+            pass
+    return SchedulabilityPoint(
+        n_tasks=len(specs),
+        utilization=u_raw,
+        m_pd2=m_pd2,
+        m_ff=m_ff,
+        inflated_u_pd2=u_pd2,
+        inflated_u_edf=u_edf,
+        pd2_iterations_max=iters,
+    )

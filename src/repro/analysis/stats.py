@@ -1,0 +1,70 @@
+"""Sample statistics with the paper's 99% confidence intervals.
+
+Every figure in the paper carries 99% CIs ("not shown because the relative
+error ... is very small"); we compute and *print* them so the scaled-down
+default campaigns make their Monte-Carlo error visible.  Student-t
+quantiles are used below 30 samples, the normal approximation above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["SampleStats", "summarize", "confidence_halfwidth"]
+
+# Two-sided 99% quantiles of Student's t for df = 1..29 (df = n - 1).
+_T99 = [
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756,
+]
+_Z99 = 2.576
+
+
+def _quantile99(n: int) -> float:
+    if n <= 1:
+        return float("inf")
+    df = n - 1
+    return _T99[df - 1] if df <= len(_T99) else _Z99
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Mean, spread, and a 99% CI for one sample."""
+
+    n: int
+    mean: float
+    std: float            # sample standard deviation (ddof=1)
+    ci99_halfwidth: float
+
+    @property
+    def relative_error(self) -> float:
+        """CI half-width over |mean| — the paper's "relative error"."""
+        if self.mean == 0:
+            return 0.0 if self.ci99_halfwidth == 0 else float("inf")
+        return self.ci99_halfwidth / abs(self.mean)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci99_halfwidth:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> SampleStats:
+    """Summary statistics of a sample (n >= 1)."""
+    vals = [float(v) for v in values]
+    n = len(vals)
+    if n == 0:
+        raise ValueError("empty sample")
+    mean = sum(vals) / n
+    if n == 1:
+        return SampleStats(n=1, mean=mean, std=0.0, ci99_halfwidth=float("inf"))
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    std = math.sqrt(var)
+    half = _quantile99(n) * std / math.sqrt(n)
+    return SampleStats(n=n, mean=mean, std=std, ci99_halfwidth=half)
+
+
+def confidence_halfwidth(values: Sequence[float]) -> float:
+    """99% CI half-width of the sample mean."""
+    return summarize(values).ci99_halfwidth

@@ -1,0 +1,122 @@
+"""Tardiness analysis: how late is late?
+
+Hard-real-time analysis asks *whether* deadlines are met; the soft-real-
+time follow-up literature (Srinivasan & Anderson's EPDF work, later
+Devi & Anderson) asks *by how much* they are missed.  Two of this repo's
+findings are tardiness statements — EPDF (no tie-breaks) misses with
+small tardiness, and variable-length/staggered quanta miss by less than a
+quantum — so tardiness summarisation is a first-class analysis tool here:
+
+* :func:`tardiness_profile` — per-run summary (count, max, mean, and the
+  full histogram) from a quantum-simulator result;
+* :func:`epdf_tardiness_experiment` — the companion to the tie-break
+  ablation: EPDF's misses on fully loaded systems are not crashes but
+  bounded lateness, which is exactly why EPDF remains interesting for
+  soft-real-time despite non-optimality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.epdf import EPDFScheduler
+from ..core.rational import Weight, weight_sum
+from ..core.task import PeriodicTask
+from ..sim.quantum import SimResult
+
+__all__ = ["TardinessProfile", "tardiness_profile", "epdf_tardiness_experiment"]
+
+
+@dataclass
+class TardinessProfile:
+    """Summary of lateness in one run (slot units)."""
+
+    misses: int = 0
+    unfinished: int = 0          # misses with no completion by the horizon
+    max_tardiness: int = 0
+    mean_tardiness: float = 0.0
+    histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def bounded(self) -> bool:
+        """True iff every miss completed (tardiness observable and finite)."""
+        return self.unfinished == 0
+
+
+def tardiness_profile(result: SimResult) -> TardinessProfile:
+    """Summarise the misses of a quantum-simulator run."""
+    prof = TardinessProfile()
+    total = 0
+    for m in result.stats.misses:
+        prof.misses += 1
+        if m.completed_at is None:
+            prof.unfinished += 1
+            continue
+        t = m.tardiness
+        total += t
+        prof.max_tardiness = max(prof.max_tardiness, t)
+        prof.histogram[t] = prof.histogram.get(t, 0) + 1
+    finished = prof.misses - prof.unfinished
+    prof.mean_tardiness = total / finished if finished else 0.0
+    return prof
+
+
+def _exact_fill_set(rng, processors: int, max_period: int = 12
+                    ) -> Optional[List[Tuple[int, int]]]:
+    pairs: List[Tuple[int, int]] = []
+    total = Weight(0, 1)
+    for _ in range(200):
+        p = int(rng.integers(2, max_period))
+        e = int(rng.integers(1, p + 1))
+        w = Weight.of_task(e, p)
+        nt = weight_sum([Weight.of_task(*x) for x in pairs] + [w])
+        if nt <= processors:
+            pairs.append((e, p))
+            total = nt
+            if total == processors:
+                return pairs
+        else:
+            rem = processors * total.den - total.num
+            if 0 < rem <= total.den <= max_period:
+                pairs.append((rem, total.den))
+                return pairs
+            return None
+    return None
+
+
+def epdf_tardiness_experiment(*, processors: int = 4, trials: int = 60,
+                              horizon: int = 240, seed: int = 0
+                              ) -> Tuple[int, int, TardinessProfile]:
+    """Run EPDF over fully loaded random sets; pool the tardiness.
+
+    Returns ``(sets_run, sets_with_misses, pooled_profile)``.  The
+    headline numbers: misses are rare and their tardiness small (1–2
+    slots at these scales) — EPDF degrades, it does not collapse.
+    """
+    rng = np.random.default_rng(seed)
+    pooled = TardinessProfile()
+    total_t = 0
+    runs = miss_sets = 0
+    while runs < trials:
+        pairs = _exact_fill_set(rng, processors)
+        if pairs is None:
+            continue
+        runs += 1
+        tasks = [PeriodicTask(e, p) for e, p in pairs]
+        res = EPDFScheduler(tasks, processors).run(horizon)
+        if not res.stats.misses:
+            continue
+        miss_sets += 1
+        prof = tardiness_profile(res)
+        pooled.misses += prof.misses
+        pooled.unfinished += prof.unfinished
+        pooled.max_tardiness = max(pooled.max_tardiness, prof.max_tardiness)
+        for t, c in prof.histogram.items():
+            pooled.histogram[t] = pooled.histogram.get(t, 0) + c
+            total_t += t * c
+    finished = pooled.misses - pooled.unfinished
+    pooled.mean_tardiness = total_t / finished if finished else 0.0
+    return runs, miss_sets, pooled

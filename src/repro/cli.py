@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Quick access to the library's main entry points without writing a script:
+
+* ``windows E/P``          — print the Pfair windows of a weight (Fig. 1 style)
+* ``schedule E/P [E/P...]`` — run PD² on a task set and print the schedule
+* ``fig1`` ``fig5``        — regenerate the paper's illustrative figures
+* ``fig3`` ``fig4``        — run a (scaled) Fig. 3 / Fig. 4 campaign
+* ``compare E/P [E/P...]`` — minimum processors under PD² vs EDF-FF with
+  the paper's overhead constants (weights are given in quanta)
+
+Weights are written ``E/P`` in integer quanta (e.g. ``8/11``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence, Tuple
+
+from .analysis.experiments import run_schedulability_campaign, utilization_grid
+from .analysis.figures import fig1_report, fig3_table, fig4_table, fig5_report
+from .analysis.schedulability import edf_ff_min_processors, pd2_min_processors
+from .core.task import PeriodicTask, TaskSet
+from .overheads.model import OverheadModel
+from .sim.quantum import simulate_pfair
+from .sim.trace import render_schedule, render_windows
+from .workload.spec import TaskSpec
+
+__all__ = ["main"]
+
+
+def _parse_weight(text: str) -> Tuple[int, int]:
+    try:
+        e_s, p_s = text.split("/")
+        e, p = int(e_s), int(p_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"weights are written E/P in integer quanta, got {text!r}"
+        ) from None
+    if not 0 < e <= p:
+        raise argparse.ArgumentTypeError(f"need 0 < E <= P, got {text}")
+    return e, p
+
+
+def _cmd_windows(args) -> int:
+    e, p = args.weight
+    task = PeriodicTask(e, p, name="T")
+    last = args.subtasks if args.subtasks else 2 * e
+    print(render_windows(task, 1, last))
+    print()
+    print("subtask   r   d   b   group-deadline")
+    for i in range(1, last + 1):
+        s = task.subtask(i)
+        print(f"  T{i:<6} {s.release:3d} {s.deadline:3d} {s.b_bit:3d}   "
+              f"{s.group_deadline}")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    tasks = [PeriodicTask(e, p, name=f"T{i}")
+             for i, (e, p) in enumerate(args.weights)]
+    ts = TaskSet(tasks)
+    m = args.processors if args.processors else ts.min_processors()
+    if not ts.is_feasible(m):
+        print(f"infeasible: total weight {ts.total_weight()} > {m} processors",
+              file=sys.stderr)
+        return 1
+    horizon = args.horizon if args.horizon else min(ts.hyperperiod() * 2, 200)
+    res = simulate_pfair(tasks, m, horizon, trace=True)
+    print(f"PD² on {m} processors, {horizon} slots, total weight "
+          f"{ts.total_weight()}")
+    print(f"misses: {res.stats.miss_count}, preemptions: "
+          f"{res.stats.total_preemptions}, migrations: "
+          f"{res.stats.total_migrations}\n")
+    print(render_schedule(res.trace, tasks, min(horizon, args.width)))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    model = OverheadModel()
+    if args.file:
+        from .workload.io import load_task_set
+
+        specs = load_task_set(args.file)
+    else:
+        if not args.weights:
+            print("give weights or --file", file=sys.stderr)
+            return 2
+        quantum = model.quantum
+        specs = [TaskSpec(e * quantum, p * quantum, name=f"T{i}",
+                          cache_delay=args.cache_delay)
+                 for i, (e, p) in enumerate(args.weights)]
+    m_pd2 = pd2_min_processors(specs, model)
+    m_ff = edf_ff_min_processors(specs, model)
+    total = sum(s.execution / s.period for s in specs)
+    print(f"{len(specs)} tasks, raw utilization {total:.3f}")
+    print(f"minimum processors, PD² (Eq. 2 on inflated weights): {m_pd2}")
+    print(f"minimum processors, EDF-FF (overhead-aware first fit): {m_ff}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .workload.generator import TaskSetGenerator
+    from .workload.io import save_task_set
+
+    gen = TaskSetGenerator(args.seed)
+    specs = gen.generate(args.tasks, args.utilization)
+    save_task_set(args.output, specs, quantum=gen.quantum)
+    print(f"wrote {len(specs)} tasks (target U = {args.utilization}) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    print(fig1_report())
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    report, results = fig5_report(horizon=args.horizon)
+    print(report)
+    return 0
+
+
+def _campaign(args, formatter) -> int:
+    grid = utilization_grid(args.tasks, points=args.points)
+    rows = run_schedulability_campaign(
+        args.tasks, grid, sets_per_point=args.sets, seed=args.seed,
+        workers=args.workers,
+        progress=lambda msg: print(msg, file=sys.stderr))
+    print(formatter(rows, args.tasks, args.sets))
+    if args.save:
+        from .analysis.persistence import save_campaign
+
+        save_campaign(args.save, rows, seed=args.seed,
+                      sets_per_point=args.sets,
+                      note=f"{args.command} N={args.tasks}")
+        print(f"[campaign saved to {args.save}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    return _campaign(args, fig3_table)
+
+
+def _cmd_fig4(args) -> int:
+    return _campaign(args, fig4_table)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Case for Fair Multiprocessor "
+                    "Scheduling' — Pfair/PD² vs EDF-FF.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("windows", help="print Pfair windows of a weight")
+    p.add_argument("weight", type=_parse_weight, help="weight E/P (quanta)")
+    p.add_argument("--subtasks", type=int, default=0,
+                   help="how many subtasks (default: two jobs)")
+    p.set_defaults(fn=_cmd_windows)
+
+    p = sub.add_parser("schedule", help="run PD² on a task set")
+    p.add_argument("weights", type=_parse_weight, nargs="+",
+                   help="weights E/P (quanta)")
+    p.add_argument("--processors", type=int, default=0,
+                   help="processor count (default: ceil of total weight)")
+    p.add_argument("--horizon", type=int, default=0,
+                   help="slots to simulate (default: 2 hyperperiods, <= 200)")
+    p.add_argument("--width", type=int, default=60,
+                   help="columns of schedule to print")
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser("compare",
+                       help="min processors: PD² vs EDF-FF with overheads")
+    p.add_argument("weights", type=_parse_weight, nargs="*",
+                   help="weights E/P in 1 ms quanta")
+    p.add_argument("--file", default=None,
+                   help="task-set JSON file (see repro.workload.io)")
+    p.add_argument("--cache-delay", type=int, default=33,
+                   help="per-task D(T) in µs (default 33)")
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("generate", help="write a random task-set JSON file")
+    p.add_argument("output", help="output path")
+    p.add_argument("--tasks", type=int, default=50)
+    p.add_argument("--utilization", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("fig1", help="reproduce Fig. 1 (windows)")
+    p.set_defaults(fn=_cmd_fig1)
+
+    p = sub.add_parser("fig5", help="reproduce Fig. 5 (supertasking)")
+    p.add_argument("--horizon", type=int, default=900)
+    p.set_defaults(fn=_cmd_fig5)
+
+    for name, fn in (("fig3", _cmd_fig3), ("fig4", _cmd_fig4)):
+        p = sub.add_parser(name, help=f"run a scaled {name} campaign")
+        p.add_argument("--tasks", type=int, default=50)
+        p.add_argument("--points", type=int, default=8)
+        p.add_argument("--sets", type=int, default=15)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--workers", type=int, default=1,
+                       help="grid points in parallel (process pool)")
+        p.add_argument("--save", default=None,
+                       help="write the campaign rows to this JSON file")
+        p.set_defaults(fn=fn)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Dynamic task systems: joins, leaves, and reweighting under PD².
+
+Srinivasan & Anderson derived conditions under which intra-sporadic tasks
+may join and leave a running Pfair-scheduled system without causing missed
+deadlines (paper, Sec. 2, "Dynamic task systems"):
+
+* **Join** — a task may join whenever the feasibility condition Eq. (2),
+  ``sum of weights <= M``, continues to hold.
+* **Leave** — a departing task's weight cannot be freed immediately: a task
+  that ran *ahead* of its fluid rate (negative lag) could otherwise leave
+  and immediately rejoin, effectively executing above its weight.  A light
+  task may leave at or after ``d(T_i) + b(T_i)``, a heavy task after its
+  next group deadline, where ``T_i`` is its last-scheduled subtask.  A task
+  that never ran since joining has nonnegative lag and may leave at once.
+
+:class:`DynamicPfairSystem` wraps the quantum simulator with this admission
+control and exposes ``try_join`` / ``request_leave`` / ``reweight``.  Task
+*reweighting* (the paper's virtual-reality rendering example, Sec. 5.2) is
+modelled exactly as the paper says: the task with the old weight leaves and
+a task with the new weight joins as soon as both the departure has taken
+effect and capacity allows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.quantum import QuantumSimulator, SimResult
+from .priority import PriorityPolicy
+from .rational import Weight
+from .task import PeriodicTask, PfairTask
+
+__all__ = ["AdmissionError", "DynamicPfairSystem", "earliest_leave_time"]
+
+
+class AdmissionError(Exception):
+    """A join would violate the feasibility condition Eq. (2)."""
+
+
+def earliest_leave_time(task: PfairTask, last_scheduled: int, now: int) -> int:
+    """Earliest slot at which ``task`` may depart, per the paper's rules.
+
+    ``last_scheduled`` is the index of the task's last-scheduled subtask
+    (0 if it never ran, in which case its lag is nonnegative and it may
+    leave immediately).
+    """
+    if last_scheduled <= 0:
+        return now
+    st = task.table  # pattern parameters; IS offsets only delay, never hasten
+    # Use the task's *actual* subtask record so IS offsets are honoured.
+    sub = task.subtask(last_scheduled)
+    if sub is None:  # stream already truncated at/below this index
+        d = st.deadline(last_scheduled)
+        b = st.b_bit(last_scheduled)
+        gd = st.group_deadline(last_scheduled)
+    else:
+        d, b, gd = sub.deadline, sub.b_bit, sub.group_deadline
+    if task.weight.is_heavy():
+        return max(now, gd)
+    return max(now, d + b)
+
+
+class DynamicPfairSystem:
+    """A running PD²-scheduled system that tasks may join and leave.
+
+    Drive it with :meth:`advance` (slot by slot) or :meth:`run_until`;
+    interleave :meth:`try_join` / :meth:`request_leave` calls at slot
+    boundaries.  The admission invariant maintained is exact: the summed
+    weight of all tasks whose departure has not yet taken effect never
+    exceeds the processor count.
+    """
+
+    def __init__(self, processors: int, *, policy: Optional[PriorityPolicy] = None,
+                 early_release: bool = False, trace: bool = False,
+                 on_miss: str = "record") -> None:
+        self.processors = processors
+        self.sim = QuantumSimulator(
+            [], processors, policy, early_release=early_release,
+            trace=trace, on_miss=on_miss,
+        )
+        self.now = 0
+        self._weights: Dict[int, Weight] = {}
+        #: tid -> slot at which the departure takes effect (weight freed).
+        self._departures: Dict[int, int] = {}
+        self._tasks: Dict[int, PfairTask] = {}
+        self._pending_joins: List[Tuple[int, PfairTask]] = []
+
+    # -- capacity ------------------------------------------------------------
+
+    def committed_weight(self) -> Weight:
+        """Exact summed weight of tasks still holding capacity."""
+        total = Weight.zero()
+        for tid, w in self._weights.items():
+            dep = self._departures.get(tid)
+            if dep is None or dep > self.now:
+                total = total + w
+        return total
+
+    def can_admit(self, task: PfairTask) -> bool:
+        return self.committed_weight() + task.weight <= self.processors
+
+    # -- joins / leaves --------------------------------------------------------
+
+    def try_join(self, task: PfairTask) -> bool:
+        """Admit ``task`` now if Eq. (2) allows; returns success.
+
+        The task's first subtask must not be eligible before the current
+        time (create periodic tasks with ``phase=system.now``).
+        """
+        if task.task_id in self._tasks:
+            raise AdmissionError(f"{task.name} already joined")
+        first = task.subtask(1)
+        if first is not None and first.eligible < self.now:
+            raise AdmissionError(
+                f"{task.name} first subtask eligible at {first.eligible}, "
+                f"before join time {self.now}"
+            )
+        if not self.can_admit(task):
+            return False
+        self._tasks[task.task_id] = task
+        self._weights[task.task_id] = task.weight
+        self.sim.add_task(task, self.now)
+        return True
+
+    def join(self, task: PfairTask) -> None:
+        """Like :meth:`try_join` but raises :class:`AdmissionError` on
+        insufficient capacity."""
+        if not self.try_join(task):
+            raise AdmissionError(
+                f"admitting {task.name} (weight {task.weight}) would exceed "
+                f"{self.processors} processors (committed {self.committed_weight()})"
+            )
+
+    def request_leave(self, task: PfairTask) -> int:
+        """Begin ``task``'s departure; returns the slot at which its weight
+        is freed.
+
+        The task stops executing immediately (its subtask stream is
+        truncated at the last-scheduled subtask), but its capacity stays
+        committed until the paper's leave condition is met.
+        """
+        if task.task_id not in self._tasks:
+            raise KeyError(f"{task.name} is not in the system")
+        if task.task_id in self._departures:
+            return self._departures[task.task_id]
+        last = self.sim.last_scheduled_index.get(task.task_id, 0)
+        departure = earliest_leave_time(task, last, self.now)
+        task.last_subtask = last  # no further subtasks
+        self._departures[task.task_id] = departure
+        return departure
+
+    def reweight(self, task: PfairTask, execution: int, period: int,
+                 *, name: Optional[str] = None) -> Tuple[int, PeriodicTask]:
+        """Schedule a weight change: old task leaves, replacement joins.
+
+        Returns ``(join_time, new_task)``; the new task is created with a
+        phase equal to the old task's departure time and joins then (the
+        caller keeps advancing the system; the join is queued internally).
+        """
+        departure = self.request_leave(task)
+        new_task = PeriodicTask(
+            execution, period, phase=departure,
+            name=name or f"{task.name}'",
+        )
+        self._pending_joins.append((departure, new_task))
+        self._pending_joins.sort(key=lambda x: x[0])
+        return departure, new_task
+
+    # -- time ------------------------------------------------------------------
+
+    def advance(self, slots: int = 1) -> None:
+        """Advance the system by ``slots`` quanta."""
+        for _ in range(slots):
+            for dep_time, new_task in list(self._pending_joins):
+                if dep_time <= self.now:
+                    self._pending_joins.remove((dep_time, new_task))
+                    self.join(new_task)
+            self.sim.step(self.now)
+            self.now += 1
+
+    def run_until(self, time: int) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot run backwards ({time} < {self.now})")
+        self.advance(time - self.now)
+
+    def finish(self) -> SimResult:
+        """Close out the run and return the simulator's result."""
+        return self.sim.finalize(self.now)

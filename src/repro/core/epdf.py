@@ -1,0 +1,41 @@
+"""EPDF — earliest-pseudo-deadline-first with *no* tie-breaks.
+
+The ablation baseline: the paper notes that "selecting appropriate
+tie-breaks turns out to be the most important concern in designing correct
+Pfair algorithms."  EPDF drops PD²'s b-bit and group-deadline tie-breaks
+and resolves deadline ties arbitrarily (here: by task id).  It is optimal
+on at most two processors but *not* in general — the tie-break ablation
+benchmark (``benchmarks/bench_ablation_tiebreaks.py``) exhibits feasible
+task sets on which EPDF misses pseudo-deadlines while PD² does not.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..sim.quantum import QuantumSimulator, SimResult
+from .priority import EPDFPriority
+from .task import PfairTask
+
+__all__ = ["EPDFScheduler", "schedule_epdf"]
+
+
+class EPDFScheduler(QuantumSimulator):
+    """EPDF bound to the quantum simulator (misses are *expected* for some
+    feasible sets on ≥3 processors; default ``on_miss='record'``)."""
+
+    def __init__(self, tasks: Iterable[PfairTask], processors: int, *,
+                 early_release: bool = False, trace: bool = False,
+                 on_miss: str = "record", arrivals=None,
+                 capacity_fn=None) -> None:
+        super().__init__(
+            tasks, processors, EPDFPriority(),
+            early_release=early_release, trace=trace, on_miss=on_miss,
+            arrivals=arrivals, capacity_fn=capacity_fn,
+        )
+
+
+def schedule_epdf(tasks: Iterable[PfairTask], processors: int, horizon: int,
+                  *, trace: bool = True) -> SimResult:
+    """Run EPDF over ``horizon`` slots and return the :class:`SimResult`."""
+    return EPDFScheduler(tasks, processors, trace=trace).run(horizon)

@@ -1,0 +1,123 @@
+"""Temporal isolation: misbehaving tasks cannot steal others' shares.
+
+The paper (Sec. 5.3) argues fairness *is* isolation: under PD², a task
+that tries to execute beyond its prescribed share simply has no released
+subtasks to schedule — excess demand becomes *future* subtasks whose
+deadlines lie further out (exactly the IS treatment of early packet
+arrivals), and every other task's windows are untouched.  EDF needs an
+added mechanism (e.g. the constant-bandwidth server of
+:class:`repro.sim.uniproc.CBSServer`) to get the same guarantee.
+
+This module provides the experiment used by the example and the tests:
+
+* :func:`pfair_isolation_experiment` — victims plus an aggressor that
+  demands ``demand_factor`` times its declared weight (as an IS stream of
+  early arrivals).  The victims' miss count is structurally zero and their
+  received allocation stays at their entitlement.
+* :func:`edf_overrun_experiment` — the EDF contrast: the same nominal
+  shares on one processor, the aggressor overrunning its WCET, with and
+  without a CBS wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.quantum import QuantumSimulator
+from ..sim.uniproc import CBSServer, UniprocSimulator, UniTask
+from .task import IntraSporadicTask, PeriodicTask
+
+__all__ = [
+    "IsolationReport",
+    "pfair_isolation_experiment",
+    "edf_overrun_experiment",
+]
+
+
+@dataclass(frozen=True)
+class IsolationReport:
+    """Victim-side outcome of an isolation experiment."""
+
+    victim_misses: int
+    aggressor_misses: int
+    victim_quanta: int
+    victim_entitlement: int  # fluid share over the horizon, floored
+    aggressor_quanta: int
+
+
+def pfair_isolation_experiment(victim_weights: List[Tuple[int, int]],
+                               aggressor_weight: Tuple[int, int],
+                               processors: int, horizon: int, *,
+                               demand_factor: int = 4) -> IsolationReport:
+    """PD² with an aggressor demanding ``demand_factor``× its share.
+
+    The aggressor is an IS task whose subtasks all arrive (become
+    *eligible*) as early as possible — slot 0 — modelling a task that is
+    always hungry; its deadlines still follow its declared weight, so PD²
+    never grants it more than its share when others need their own.
+    """
+    victims = [PeriodicTask(e, p, name=f"victim{i}")
+               for i, (e, p) in enumerate(victim_weights)]
+    e_a, p_a = aggressor_weight
+    # Pre-arrived stream: many subtasks already queued (a burst), eligible
+    # immediately, deadlines spaced by the declared weight.
+    n_sub = demand_factor * (horizon * e_a // p_a + 1)
+    aggressor = IntraSporadicTask(
+        e_a, p_a,
+        offsets=[0] * n_sub,
+        eligible_times=[0] * n_sub,
+        name="aggressor",
+    )
+    tasks = victims + [aggressor]
+    sim = QuantumSimulator(tasks, processors, trace=True)
+    result = sim.run(horizon)
+    victim_misses = sum(1 for m in result.stats.misses
+                        if m.task.name.startswith("victim"))
+    aggressor_misses = result.stats.miss_count - victim_misses
+    victim_quanta = sum(result.stats.stats_for(v).quanta for v in victims)
+    entitlement = sum(e * horizon // p for (e, p) in victim_weights)
+    return IsolationReport(
+        victim_misses=victim_misses,
+        aggressor_misses=aggressor_misses,
+        victim_quanta=victim_quanta,
+        victim_entitlement=entitlement,
+        aggressor_quanta=result.stats.stats_for(aggressor).quanta,
+    )
+
+
+def edf_overrun_experiment(victim: Tuple[int, int], aggressor: Tuple[int, int],
+                           horizon: int, *, overrun_factor: int = 4,
+                           use_cbs: bool = False) -> IsolationReport:
+    """Uniprocessor EDF with the aggressor overrunning its WCET.
+
+    Without CBS the overrun steals the victim's slack and the victim
+    misses; with the aggressor wrapped in a CBS of its declared bandwidth,
+    the victim is untouched.
+    """
+    e_v, p_v = victim
+    e_a, p_a = aggressor
+    victim_task = UniTask(e_v, p_v, name="victim")
+    if use_cbs:
+        requests = [(k * p_a, e_a * overrun_factor)
+                    for k in range(horizon // p_a + 1)]
+        server = CBSServer(e_a, p_a, name="aggressor", requests=requests)
+        sim = UniprocSimulator([victim_task], servers=[server])
+        res = sim.run(horizon)
+        return IsolationReport(
+            victim_misses=sum(1 for m in res.misses if m[0] == "victim"),
+            aggressor_misses=0,
+            victim_quanta=0,
+            victim_entitlement=0,
+            aggressor_quanta=server.served,
+        )
+    bad = UniTask(e_a, p_a, name="aggressor",
+                  actual_exec=lambda i: e_a * overrun_factor)
+    res = UniprocSimulator([victim_task, bad]).run(horizon)
+    return IsolationReport(
+        victim_misses=sum(1 for m in res.misses if m[0] == "victim"),
+        aggressor_misses=sum(1 for m in res.misses if m[0] == "aggressor"),
+        victim_quanta=0,
+        victim_entitlement=0,
+        aggressor_quanta=0,
+    )

@@ -1,0 +1,80 @@
+"""Fluid-schedule bookkeeping: ideal allocations and lags, exactly.
+
+The defining comparison of Pfair scheduling (paper, Sec. 2) is against the
+*ideal fluid schedule* in which every task receives ``wt(T)`` processor
+time in each slot.  The deviation at time ``t`` is the lag::
+
+    lag(T, t) = wt(T) · t  −  (quanta allocated to T in [0, t))
+
+A schedule is Pfair iff every lag stays strictly inside (−1, 1), and
+ERfair iff it stays below 1.  :class:`LagTracker` maintains these values
+incrementally and exactly — the numerator ``e·t − p·alloc`` is an integer,
+so window membership and the lag bounds are integer comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from .rational import Weight
+from .task import PfairTask
+
+__all__ = ["ideal_allocation", "LagTracker"]
+
+
+def ideal_allocation(task: PfairTask, t: int) -> Weight:
+    """Fluid allocation ``wt(T)·t`` as an exact rational."""
+    if t < 0:
+        raise ValueError("time must be nonnegative")
+    return task.weight * t
+
+
+class LagTracker:
+    """Incremental exact lag accounting for a set of tasks.
+
+    Call :meth:`advance` once per elapsed slot with the set of tasks that
+    were scheduled in it.  Lags are exposed as ``(numerator, period)``
+    pairs meaning ``numerator / period``; ``is_pfair`` / ``is_erfair``
+    report whether all current lags satisfy the respective bound.
+    """
+
+    def __init__(self, tasks: Iterable[PfairTask]) -> None:
+        self._tasks = list(tasks)
+        self._alloc: Dict[int, int] = {t.task_id: 0 for t in self._tasks}
+        self.now = 0
+
+    def advance(self, scheduled: Iterable[PfairTask]) -> None:
+        """Account for one slot in which ``scheduled`` tasks each ran one
+        quantum."""
+        for task in scheduled:
+            if task.task_id not in self._alloc:
+                raise KeyError(f"unknown task {task.name}")
+            self._alloc[task.task_id] += 1
+        self.now += 1
+
+    def lag(self, task: PfairTask) -> Tuple[int, int]:
+        """Current lag of ``task`` as an exact ``(numerator, denominator)``."""
+        num = task.execution * self.now - task.period * self._alloc[task.task_id]
+        return num, task.period
+
+    def lags(self) -> Dict[str, Tuple[int, int]]:
+        return {t.name: self.lag(t) for t in self._tasks}
+
+    def is_pfair(self) -> bool:
+        """True iff every current lag lies strictly in (−1, 1)."""
+        for task in self._tasks:
+            num, den = self.lag(task)
+            if not (-den < num < den):
+                return False
+        return True
+
+    def is_erfair(self) -> bool:
+        """True iff every current lag lies strictly below 1."""
+        for task in self._tasks:
+            num, den = self.lag(task)
+            if num >= den:
+                return False
+        return True
+
+    def allocated(self, task: PfairTask) -> int:
+        return self._alloc[task.task_id]

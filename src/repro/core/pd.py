@@ -1,0 +1,40 @@
+"""PD — Baruah, Gehrke & Plaxton's faster optimal Pfair algorithm (1995).
+
+PD replaced PF's lexicographic b-bit comparison with a constant number of
+scalar tie-break parameters, the first two of which are PD²'s b-bit and
+group deadline.  PD² later proved the remaining tie-breaks unnecessary; we
+therefore implement PD as PD²'s order refined by the extra parameters
+(heaviness, then weight), which is optimal — any refinement of the PD²
+order is a valid PD² tie-resolution — and preserves PD's character of
+"more tie-breaks than needed".  See :class:`repro.core.priority.PDPriority`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..sim.quantum import QuantumSimulator, SimResult
+from .priority import PDPriority
+from .task import PfairTask
+
+__all__ = ["PDScheduler", "schedule_pd"]
+
+
+class PDScheduler(QuantumSimulator):
+    """The PD algorithm bound to the quantum simulator."""
+
+    def __init__(self, tasks: Iterable[PfairTask], processors: int, *,
+                 early_release: bool = False, trace: bool = False,
+                 on_miss: str = "record", arrivals=None,
+                 capacity_fn=None) -> None:
+        super().__init__(
+            tasks, processors, PDPriority(),
+            early_release=early_release, trace=trace, on_miss=on_miss,
+            arrivals=arrivals, capacity_fn=capacity_fn,
+        )
+
+
+def schedule_pd(tasks: Iterable[PfairTask], processors: int, horizon: int,
+                *, trace: bool = True, on_miss: str = "record") -> SimResult:
+    """Run PD over ``horizon`` slots and return the :class:`SimResult`."""
+    return PDScheduler(tasks, processors, trace=trace, on_miss=on_miss).run(horizon)

@@ -1,0 +1,40 @@
+"""PF — the original optimal Pfair algorithm (Baruah, Cohen, Plaxton, Varvel).
+
+PF introduced Pfair scheduling and proved the first optimality result
+(Algorithmica 1996).  Deadline ties are broken by comparing the infinite
+lexicographic strings of b-bits of successor subtasks — a comparison-based
+rule that is correct but more expensive than PD²'s two scalar tie-breaks,
+which is why the paper calls PD² "the most efficient of the three".  The
+comparison is lazy and always terminates (every task has a 0 b-bit at each
+job boundary); see :class:`repro.core.priority.PFPriority`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..sim.quantum import QuantumSimulator, SimResult
+from .priority import PFPriority
+from .task import PfairTask
+
+__all__ = ["PFScheduler", "schedule_pf"]
+
+
+class PFScheduler(QuantumSimulator):
+    """The PF algorithm bound to the quantum simulator."""
+
+    def __init__(self, tasks: Iterable[PfairTask], processors: int, *,
+                 early_release: bool = False, trace: bool = False,
+                 on_miss: str = "record", arrivals=None,
+                 capacity_fn=None) -> None:
+        super().__init__(
+            tasks, processors, PFPriority(),
+            early_release=early_release, trace=trace, on_miss=on_miss,
+            arrivals=arrivals, capacity_fn=capacity_fn,
+        )
+
+
+def schedule_pf(tasks: Iterable[PfairTask], processors: int, horizon: int,
+                *, trace: bool = True, on_miss: str = "record") -> SimResult:
+    """Run PF over ``horizon`` slots and return the :class:`SimResult`."""
+    return PFScheduler(tasks, processors, trace=trace, on_miss=on_miss).run(horizon)

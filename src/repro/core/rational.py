@@ -1,0 +1,189 @@
+"""Exact rational weights for Pfair scheduling.
+
+Every scheduling decision in this library is made with exact integer
+arithmetic.  A Pfair task's *weight* is the rational ``e/p`` where ``e`` is
+its per-job execution requirement and ``p`` its period, both expressed in
+whole scheduling quanta.  Floating point is never used for priorities,
+releases, deadlines, or feasibility sums: accumulated rounding error in a
+10^6-slot simulation would silently corrupt tie-breaks, and Pfair
+correctness proofs are stated over exact rationals.
+
+:class:`Weight` is a small immutable value type — deliberately simpler and
+faster than :class:`fractions.Fraction` (no normalisation on every
+arithmetic op, hashing on the reduced pair, rich comparisons by
+cross-multiplication).  Use :func:`weight_sum` to form exact feasibility
+sums such as the Pfair test ``sum(wt) <= M``.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Iterable, Tuple
+
+__all__ = ["Weight", "weight_sum"]
+
+
+class Weight:
+    """An exact rational weight ``num/den`` with ``0 < num/den <= 1`` allowed
+    to be relaxed for sums.
+
+    Instances are immutable, hashable, reduced to lowest terms, and ordered
+    by exact cross-multiplication.
+    """
+
+    __slots__ = ("num", "den")
+
+    num: int
+    den: int
+
+    def __init__(self, num: int, den: int) -> None:
+        if den == 0:
+            raise ZeroDivisionError("weight denominator must be nonzero")
+        if num < 0 or den < 0:
+            raise ValueError(f"weight must be nonnegative, got {num}/{den}")
+        g = gcd(num, den)
+        if g > 1:
+            num //= g
+            den //= g
+        object.__setattr__(self, "num", num)
+        object.__setattr__(self, "den", den)
+
+    def __setattr__(self, name: str, value) -> None:  # pragma: no cover
+        raise AttributeError("Weight is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def of_task(cls, execution: int, period: int) -> "Weight":
+        """Weight of a task with integer ``execution`` cost and ``period``.
+
+        Enforces the Pfair constraint ``0 < e/p <= 1``.
+        """
+        if execution <= 0:
+            raise ValueError(f"execution cost must be positive, got {execution}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if execution > period:
+            raise ValueError(
+                f"weight {execution}/{period} exceeds 1; Pfair weights are at most 1"
+            )
+        return cls(execution, period)
+
+    @classmethod
+    def zero(cls) -> "Weight":
+        return cls(0, 1)
+
+    # -- predicates from the paper ----------------------------------------
+
+    def is_light(self) -> bool:
+        """A task is *light* iff its weight is < 1/2 (paper, Sec. 2)."""
+        return 2 * self.num < self.den
+
+    def is_heavy(self) -> bool:
+        """A task is *heavy* iff its weight is >= 1/2 (paper, Sec. 2)."""
+        return 2 * self.num >= self.den
+
+    def is_unit(self) -> bool:
+        """True iff the weight is exactly 1 (every slot needed)."""
+        return self.num == self.den
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Weight") -> "Weight":
+        if not isinstance(other, Weight):
+            return NotImplemented
+        return Weight(self.num * other.den + other.num * self.den, self.den * other.den)
+
+    def __sub__(self, other: "Weight") -> "Weight":
+        if not isinstance(other, Weight):
+            return NotImplemented
+        num = self.num * other.den - other.num * self.den
+        if num < 0:
+            raise ValueError("weight subtraction went negative")
+        return Weight(num, self.den * other.den)
+
+    def __mul__(self, other: "Weight | int") -> "Weight":
+        if isinstance(other, int):
+            return Weight(self.num * other, self.den)
+        if isinstance(other, Weight):
+            return Weight(self.num * other.num, self.den * other.den)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    # -- comparisons (exact cross multiplication) --------------------------
+
+    def _cmp_key(self, other: "Weight") -> Tuple[int, int]:
+        return self.num * other.den, other.num * self.den
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Weight):
+            return self.num == other.num and self.den == other.den
+        if isinstance(other, int):
+            return self.den == 1 and self.num == other
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, Weight):
+            a, b = self._cmp_key(other)
+            return a < b
+        if isinstance(other, int):
+            return self.num < other * self.den
+        return NotImplemented
+
+    def __le__(self, other) -> bool:
+        if isinstance(other, Weight):
+            a, b = self._cmp_key(other)
+            return a <= b
+        if isinstance(other, int):
+            return self.num <= other * self.den
+        return NotImplemented
+
+    def __gt__(self, other) -> bool:
+        le = self.__le__(other)
+        return NotImplemented if le is NotImplemented else not le
+
+    def __ge__(self, other) -> bool:
+        lt = self.__lt__(other)
+        return NotImplemented if lt is NotImplemented else not lt
+
+    def __hash__(self) -> int:
+        return hash((self.num, self.den))
+
+    # -- conversions -------------------------------------------------------
+
+    def __float__(self) -> float:
+        return self.num / self.den
+
+    def ceil(self) -> int:
+        """Smallest integer >= the weight value."""
+        return -(-self.num // self.den)
+
+    def floor(self) -> int:
+        return self.num // self.den
+
+    def __repr__(self) -> str:
+        return f"Weight({self.num}/{self.den})"
+
+    def __str__(self) -> str:
+        return f"{self.num}/{self.den}"
+
+
+def weight_sum(weights: Iterable[Weight]) -> Weight:
+    """Exact sum of weights.
+
+    Folds over a running ``num/den`` pair, reducing as it goes so the
+    intermediate integers stay near the lcm of the denominators seen so
+    far.  Used for the Pfair feasibility test ``weight_sum(wts) <= M``
+    (Eq. (2) in the paper), which must be exact: a task set with total
+    weight exactly ``M`` is feasible, and a float sum could tip either way.
+    """
+    num, den = 0, 1
+    for w in weights:
+        num = num * w.den + w.num * den
+        den = den * w.den
+        g = gcd(num, den)
+        if g > 1:
+            num //= g
+            den //= g
+    return Weight(num, den)

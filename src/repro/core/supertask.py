@@ -1,0 +1,190 @@
+"""Supertasking: non-migratory component tasks inside one Pfair server.
+
+Moir & Ramamurthy observed that tasks which communicate with external
+devices may need to run on one specific processor, which global Pfair
+scheduling cannot promise.  Their *supertask* approach binds a set of
+*component* tasks to a processor and lets a single stand-in task — the
+supertask — compete under PD² with the cumulative weight of its
+components; whenever the supertask is allocated a quantum, an internal
+scheduler picks which component runs in it (paper, Sec. 5.5).
+
+Two facts from the paper are reproduced here and in Fig. 5's benchmark:
+
+* **Supertasking can fail.**  With the supertask competing at exactly the
+  cumulative weight, a component can miss deadlines — Fig. 5's set
+  (V=1/2, W=X=1/3, Y=2/9 and S={T=1/5, U=1/45} with wt(S)=2/9 on two
+  processors) makes T miss at time 10 because S receives no quantum in
+  [5, 10).
+* **Reweighting restores the guarantee.**  Holman & Anderson showed that
+  inflating the supertask's weight by ``1/p_min`` (the smallest component
+  period) suffices when the internal scheduler is EDF.
+
+Caveat (ours, found empirically — see
+``tests/test_integration_combined.py``): a supertask must compete with
+*plain* Pfair eligibility.  ERfair early releasing lets the stand-in run
+quanta before its components' releases; those grants go idle inside the
+supertask and components miss even with the reweighting inflation.  Other
+tasks in the system may use per-task ER freely.
+
+The internal scheduler here is EDF over the components' pseudo-deadlines:
+at each quantum granted to the supertask, the eligible component (next
+pending subtask released) with the earliest pseudo-deadline runs.  Whether
+internal EDF dispatches on job or subtask deadlines does not affect the
+Fig. 5 phenomenon — the failure is that S gets *no* quantum in [5, 10) —
+and subtask-level EDF gives the tighter notion of component lateness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.metrics import DeadlineMiss
+from ..sim.quantum import QuantumSimulator, SimResult
+from .priority import PriorityPolicy
+from .rational import Weight, weight_sum
+from .task import PeriodicTask, PfairTask
+
+__all__ = ["Supertask", "ComponentDispatch", "SupertaskSystem", "supertask_weight"]
+
+
+def supertask_weight(components: Sequence[PfairTask], *,
+                     reweight: bool = False) -> Weight:
+    """Cumulative component weight, optionally inflated by Holman &
+    Anderson's ``1/p_min`` (capped at 1, since a server cannot exceed a
+    full processor)."""
+    if not components:
+        raise ValueError("a supertask needs at least one component")
+    w = weight_sum(c.weight for c in components)
+    if reweight:
+        p_min = min(c.period for c in components)
+        w = w + Weight(1, p_min)
+    if w > 1:
+        raise ValueError(
+            f"supertask weight {w} exceeds 1; split the components across "
+            f"several supertasks"
+        )
+    return w
+
+
+class Supertask(PeriodicTask):
+    """The stand-in Pfair task competing on behalf of bound components.
+
+    ``reweight=True`` applies the Holman–Anderson inflation that makes
+    internal EDF dispatch deadline-safe.
+    """
+
+    def __init__(self, components: Sequence[PfairTask], *,
+                 reweight: bool = False, name: Optional[str] = None) -> None:
+        w = supertask_weight(components, reweight=reweight)
+        super().__init__(w.num, w.den, name=name or "S")
+        self.components: List[PfairTask] = list(components)
+        self.reweighted = reweight
+
+
+@dataclass
+class ComponentDispatch:
+    """Outcome of internally dispatching one supertask's quanta."""
+
+    supertask: Supertask
+    #: slot -> component that ran in it (slots granted but unused are absent).
+    allocations: Dict[int, PfairTask] = field(default_factory=dict)
+    #: per-component completed subtask count.
+    completed: Dict[int, int] = field(default_factory=dict)
+    misses: List[DeadlineMiss] = field(default_factory=list)
+    idle_quanta: int = 0
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.misses)
+
+    def slots_of(self, component: PfairTask) -> List[int]:
+        return sorted(s for s, c in self.allocations.items()
+                      if c.task_id == component.task_id)
+
+
+def dispatch_components(supertask: Supertask, granted_slots: Sequence[int],
+                        horizon: int, *, policy: str = "edf") -> ComponentDispatch:
+    """Run the internal scheduler over the quanta granted to ``supertask``.
+
+    ``granted_slots`` are the slots the top-level scheduler allocated to
+    the supertask, in increasing order.  Each is given to the eligible
+    component (next pending subtask with release <= slot) chosen by the
+    internal ``policy``: ``"edf"`` (earliest pseudo-deadline — the scheme
+    Holman & Anderson's reweighting bound covers) or ``"rm"`` (smallest
+    period, statically).  Misses are recorded when a component subtask
+    completes at or past its deadline, or never runs although its deadline
+    falls within the horizon.
+    """
+    if policy not in ("edf", "rm"):
+        raise ValueError(f"unknown internal policy {policy!r}")
+    out = ComponentDispatch(supertask=supertask)
+    next_idx: Dict[int, int] = {c.task_id: 1 for c in supertask.components}
+    for slot in granted_slots:
+        best: Optional[PfairTask] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for comp in supertask.components:
+            st = comp.subtask(next_idx[comp.task_id])
+            if st is None or st.release > slot:
+                continue
+            if policy == "edf":
+                key = (st.deadline, comp.task_id)
+            else:
+                key = (comp.period, comp.task_id)
+            if best_key is None or key < best_key:
+                best, best_key = comp, key
+        if best is None:
+            out.idle_quanta += 1
+            continue
+        idx = next_idx[best.task_id]
+        st = best.subtask(idx)
+        if slot >= st.deadline:
+            out.misses.append(DeadlineMiss(best, idx, st.deadline, slot + 1))
+        out.allocations[slot] = best
+        out.completed[best.task_id] = idx
+        next_idx[best.task_id] = idx + 1
+    # Components whose pending subtask's deadline expired without running.
+    for comp in supertask.components:
+        idx = next_idx[comp.task_id]
+        while True:
+            st = comp.subtask(idx)
+            if st is None or st.deadline > horizon:
+                break
+            out.misses.append(DeadlineMiss(comp, idx, st.deadline, None))
+            idx += 1
+    return out
+
+
+class SupertaskSystem:
+    """Top-level PD² over normal tasks and supertasks, plus internal dispatch.
+
+    Components of each supertask implicitly execute on whatever processor
+    their supertask was given in that slot — since a supertask, being one
+    Pfair task, is never on two processors in a slot, binding it to a fixed
+    processor changes nothing observable at this level of the model.
+    """
+
+    def __init__(self, tasks: Iterable[PfairTask], processors: int, *,
+                 policy: Optional[PriorityPolicy] = None,
+                 internal_policy: str = "edf",
+                 early_release: bool = False, on_miss: str = "record") -> None:
+        self.tasks = list(tasks)
+        self.processors = processors
+        self.internal_policy = internal_policy
+        self.supertasks = [t for t in self.tasks if isinstance(t, Supertask)]
+        self.sim = QuantumSimulator(
+            self.tasks, processors, policy,
+            early_release=early_release, trace=True, on_miss=on_miss,
+        )
+
+    def run(self, horizon: int) -> Tuple[SimResult, Dict[int, ComponentDispatch]]:
+        """Simulate and dispatch; returns (top-level result, per-supertask
+        dispatch keyed by supertask task id)."""
+        result = self.sim.run(horizon)
+        assert result.trace is not None
+        dispatches: Dict[int, ComponentDispatch] = {}
+        for sup in self.supertasks:
+            granted = result.trace.slots_of(sup)
+            dispatches[sup.task_id] = dispatch_components(
+                sup, granted, horizon, policy=self.internal_policy)
+        return result, dispatches

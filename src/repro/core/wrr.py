@@ -1,0 +1,116 @@
+"""Weighted round-robin — the scheduler PD² is a "deadline-based variant" of.
+
+The paper (Sec. 4, "Challenges"): "Though Pfair scheduling algorithms
+appear to be different from traditional real-time scheduling algorithms,
+they are similar to the round-robin algorithm used in general-purpose
+operating systems.  In fact, PD² can be thought of as a deadline-based
+variant of the weighted round-robin algorithm."
+
+This module makes that remark testable: a classic quantum-level WRR that
+grants each task ``round(w·R)`` quanta per round of ``R`` slots, serving
+tasks cyclically, up to ``M`` distinct tasks per slot.  WRR delivers
+long-run proportional shares but has no notion of deadlines, so on
+periodic hard-real-time sets it misses job deadlines that PD² (same
+quanta, deadline-ordered) meets — the ablation
+``benchmarks/bench_ext_wrr_baseline.py`` quantifies the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .task import PeriodicTask
+
+__all__ = ["WRRResult", "WeightedRoundRobin", "simulate_wrr"]
+
+
+@dataclass
+class WRRResult:
+    """Outcome of a WRR run over synchronous periodic tasks."""
+
+    horizon: int
+    processors: int
+    round_length: int
+    #: (task name, job index, deadline slot, quanta short at the deadline)
+    misses: List[Tuple[str, int, int, int]] = field(default_factory=list)
+    quanta: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.misses)
+
+
+class WeightedRoundRobin:
+    """Quantum-level weighted round-robin over synchronous periodic tasks.
+
+    Each round of ``round_length`` slots grants task ``T`` a budget of
+    ``max(1, round(wt(T) · R))`` quanta.  In every slot, up to ``M``
+    distinct tasks with remaining budget *and* pending work execute, in
+    cyclic order starting after the last task served.  Budgets refresh at
+    round boundaries; unused budget does not carry over (classic WRR).
+
+    Job deadlines are checked at period boundaries: job ``k`` of ``T``
+    must have received ``e`` quanta by slot ``(k+1)·p``.
+    """
+
+    def __init__(self, tasks: Iterable[PeriodicTask], processors: int,
+                 round_length: Optional[int] = None) -> None:
+        self.tasks = list(tasks)
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        for t in self.tasks:
+            if getattr(t, "phase", 0):
+                raise ValueError("WRR baseline supports synchronous tasks only")
+        self.processors = processors
+        if round_length is None:
+            round_length = max((t.period for t in self.tasks), default=1)
+        if round_length < 1:
+            raise ValueError("round length must be positive")
+        self.round_length = round_length
+
+    def _budget(self, task: PeriodicTask) -> int:
+        r = self.round_length
+        return max(1, (task.execution * r + task.period // 2) // task.period)
+
+    def run(self, horizon: int) -> WRRResult:
+        res = WRRResult(horizon=horizon, processors=self.processors,
+                        round_length=self.round_length)
+        n = len(self.tasks)
+        done: Dict[int, int] = {t.task_id: 0 for t in self.tasks}
+        budgets: Dict[int, int] = {}
+        pointer = 0
+        for now in range(horizon):
+            if now % self.round_length == 0:
+                budgets = {t.task_id: self._budget(t) for t in self.tasks}
+            # Deadline checks at period boundaries (before this slot runs).
+            for t in self.tasks:
+                if now and now % t.period == 0:
+                    job = now // t.period  # job `job` had deadline `now`
+                    need = job * t.execution
+                    if done[t.task_id] < need:
+                        res.misses.append(
+                            (t.name, job, now, need - done[t.task_id]))
+            # Serve up to M distinct tasks, cyclically.
+            served = 0
+            scanned = 0
+            while served < self.processors and scanned < n:
+                t = self.tasks[pointer % n]
+                pointer += 1
+                scanned += 1
+                tid = t.task_id
+                demand = ((now // t.period) + 1) * t.execution
+                if budgets.get(tid, 0) > 0 and done[tid] < demand:
+                    budgets[tid] -= 1
+                    done[tid] += 1
+                    served += 1
+        for t in self.tasks:
+            res.quanta[t.name] = done[t.task_id]
+        return res
+
+
+def simulate_wrr(tasks: Iterable[PeriodicTask], processors: int,
+                 horizon: int, *, round_length: Optional[int] = None
+                 ) -> WRRResult:
+    """One-call convenience wrapper."""
+    return WeightedRoundRobin(tasks, processors, round_length).run(horizon)

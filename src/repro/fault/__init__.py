@@ -1,0 +1,5 @@
+"""Fault tolerance and overload handling (paper, Sec. 5.4)."""
+
+from .failures import FailureEvent, pd2_with_failures, plan_reweighting
+
+__all__ = ["FailureEvent", "pd2_with_failures", "plan_reweighting"]

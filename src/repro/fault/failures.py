@@ -1,0 +1,109 @@
+"""Fault tolerance and overload (paper, Sec. 5.4).
+
+Two contrasted behaviours:
+
+* **Pfair / PD²** — if ``K`` of ``M`` processors fail and total weight is
+  at most ``M − K``, the *same* global scheduler simply keeps choosing the
+  top ``M − K`` subtasks: no reassignment, no misses (global scheduling +
+  optimality).  If total weight exceeds the surviving capacity, the system
+  is overloaded, and *reweighting* non-critical tasks (shrink their weights
+  until Eq. (2) holds again) protects the critical ones — graceful
+  degradation.
+* **Partitioned EDF** — the failed processor's tasks must be re-homed.
+  First fit over the survivors' spare capacity can fail even when total
+  utilization is below ``M − 1`` (fragmentation), and EDF itself degrades
+  badly under overload.
+
+:func:`pd2_with_failures` runs PD² with a capacity function that drops at
+failure times; :func:`plan_reweighting` computes a proportional weight
+reduction for non-critical tasks that restores feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..core.rational import Weight, weight_sum
+from ..core.task import PfairTask
+from ..sim.quantum import QuantumSimulator, SimResult
+
+__all__ = ["FailureEvent", "pd2_with_failures", "plan_reweighting"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """``count`` processors fail permanently at slot ``time``."""
+
+    time: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.count < 1:
+            raise ValueError("failures need time >= 0 and count >= 1")
+
+
+def _capacity_fn(processors: int, failures: Sequence[FailureEvent]):
+    events = sorted(failures, key=lambda f: f.time)
+
+    def capacity(t: int) -> int:
+        lost = sum(f.count for f in events if f.time <= t)
+        return max(0, processors - lost)
+
+    return capacity
+
+
+def pd2_with_failures(tasks: Iterable[PfairTask], processors: int,
+                      horizon: int, failures: Sequence[FailureEvent], *,
+                      trace: bool = False) -> SimResult:
+    """Run PD² while processors die at the given times.
+
+    When total weight stays at most the surviving capacity, the run is
+    transparent (no misses) — the Sec. 5.4 claim the tests assert.
+    """
+    sim = QuantumSimulator(
+        tasks, processors, trace=trace,
+        capacity_fn=_capacity_fn(processors, failures),
+    )
+    return sim.run(horizon)
+
+
+def plan_reweighting(tasks: Sequence[PfairTask], critical: Iterable[str],
+                     capacity: int) -> Optional[Dict[str, Tuple[int, int]]]:
+    """Weights after an overload: critical tasks untouched, others scaled.
+
+    Returns ``{task name: (new e, new p)}`` for the non-critical tasks, or
+    ``None`` if even the critical set alone exceeds ``capacity``.  The
+    non-critical tasks are scaled by the exact factor that makes total
+    weight fit ``capacity``; each keeps its execution cost and gets a
+    *longer period* (``p' = ceil(e / u')``), i.e. it "executes at a slower
+    rate" as the paper puts it.  Rounding the period up rounds the weight
+    down, so the plan never exceeds capacity.
+    """
+    critical_names = set(critical)
+    crit = [t for t in tasks if t.name in critical_names]
+    rest = [t for t in tasks if t.name not in critical_names]
+    w_crit = weight_sum(t.weight for t in crit)
+    if w_crit > capacity:
+        return None
+    w_rest = weight_sum(t.weight for t in rest)
+    spare = Fraction(capacity) - Fraction(w_crit.num, w_crit.den)
+    if Fraction(w_rest.num, w_rest.den) <= spare:
+        # No reduction needed; keep current weights.
+        return {t.name: (t.execution, t.period) for t in rest}
+    if spare <= 0:
+        return None if rest else {}
+    scale = spare / Fraction(w_rest.num, w_rest.den)
+    out: Dict[str, Tuple[int, int]] = {}
+    for t in rest:
+        new_u = Fraction(t.weight.num, t.weight.den) * scale
+        # p' = ceil(e / u'): keep e, stretch the period.
+        p_new = -((-t.execution * new_u.denominator) // new_u.numerator)
+        out[t.name] = (t.execution, max(p_new, t.execution))
+    total = weight_sum(
+        [t.weight for t in crit]
+        + [Weight.of_task(e, p) for (e, p) in out.values()]
+    )
+    assert total <= capacity, "period stretching cannot overshoot capacity"
+    return out

@@ -1,0 +1,18 @@
+"""Fair queueing on a shared link — the networking substrate the paper's
+Sec. 5.3 builds its temporal-isolation argument on (GPS, WFQ, WF²Q,
+Virtual Clock)."""
+
+from .gps import Flow, GPSResult, Packet, simulate_gps
+from .vclock import simulate_virtual_clock
+from .wfq import PacketizedResult, simulate_wfq, virtual_time_at
+
+__all__ = [
+    "Flow",
+    "Packet",
+    "GPSResult",
+    "simulate_gps",
+    "PacketizedResult",
+    "simulate_wfq",
+    "virtual_time_at",
+    "simulate_virtual_clock",
+]

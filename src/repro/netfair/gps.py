@@ -1,0 +1,210 @@
+"""GPS — the fluid fair-queueing reference (Parekh & Gallager).
+
+The paper's temporal-isolation argument (Sec. 5.3) is rooted in the
+networking fair-queueing literature it cites ([7] WF²Q, [12] fair
+queueing, [32] GPS, [40] Virtual Clock): Pfair is to multiprocessor CPU
+scheduling what these are to a shared link.  This subpackage implements
+that referenced substrate so the analogy is runnable, not rhetorical.
+
+**Generalized Processor Sharing** is the fluid ideal: each backlogged flow
+``i`` is served at rate ``w_i / W_B`` where ``W_B`` sums the weights of
+currently backlogged flows (link rate 1).  Exactly like the Pfair fluid
+schedule, GPS is unimplementable (it serves fractional bits of many
+packets at once) and real schedulers are judged by their deviation from
+it.  This module computes, with exact rational arithmetic:
+
+* per-packet **GPS finish times** (the reference every bound is stated
+  against);
+* the **virtual time** function ``V(t)`` (piecewise linear, slope
+  ``1/W_B``), which packetised schedulers (WFQ/WF²Q) use for stamping.
+
+The event-driven fluid simulation advances between arrivals and fluid
+departures; all times are exact :class:`fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Packet", "Flow", "GPSResult", "simulate_gps"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet: flow name, arrival time, length (service time at rate 1)."""
+
+    flow: str
+    arrival: int
+    length: int
+    index: int = 0  # per-flow sequence number, filled by the simulators
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival must be nonnegative")
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A weighted flow; weights are exact rationals ``num/den``."""
+
+    name: str
+    weight_num: int
+    weight_den: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight_num <= 0 or self.weight_den <= 0:
+            raise ValueError("flow weight must be positive")
+
+    @property
+    def weight(self) -> Fraction:
+        return Fraction(self.weight_num, self.weight_den)
+
+
+@dataclass
+class GPSResult:
+    """Fluid outcomes: exact finish times and virtual-time stamps."""
+
+    #: (flow, per-flow packet index) -> exact fluid finish time.
+    finish: Dict[Tuple[str, int], Fraction] = field(default_factory=dict)
+    #: (flow, index) -> (virtual start S, virtual finish F).
+    stamps: Dict[Tuple[str, int], Tuple[Fraction, Fraction]] = field(
+        default_factory=dict)
+    #: Piecewise-linear virtual time as (real time, V) breakpoints.
+    v_breakpoints: List[Tuple[Fraction, Fraction]] = field(default_factory=list)
+    #: Flow weights, kept for service-curve evaluation.
+    weights: Dict[str, Fraction] = field(default_factory=dict)
+    #: (flow, index) -> arrival and length (for service curves).
+    packets: Dict[Tuple[str, int], Tuple[int, int]] = field(default_factory=dict)
+
+    def finish_of(self, flow: str, index: int) -> Fraction:
+        return self.finish[(flow, index)]
+
+    def service(self, flow: str, t: Fraction) -> Fraction:
+        """Cumulative fluid service received by ``flow`` up to real time
+        ``t``: each of its packets with stamps (S, F) is served at rate
+        ``w·dV`` while ``V`` is in [S, F].
+
+        Virtual time resets at busy-period boundaries, so the evaluation
+        walks the recorded breakpoint segments and accumulates per
+        segment (stamps from earlier busy periods cannot collide with
+        later ones because departures always precede the reset).
+        """
+        from .wfq import virtual_time_at  # local import avoids a cycle
+
+        v_t = virtual_time_at(self, t)
+        w = self.weights[flow]
+        total = Fraction(0)
+        for (name, idx), (s, f) in self.stamps.items():
+            if name != flow:
+                continue
+            arrival, length = self.packets[(name, idx)]
+            if Fraction(arrival) > t:
+                continue
+            done = self.finish.get((name, idx))
+            if done is not None and done <= t:
+                total += length
+            else:
+                overlap = max(Fraction(0), min(v_t, f) - s)
+                total += min(Fraction(length), w * overlap)
+        return total
+
+
+def _number_packets(packets: Sequence[Packet]) -> List[Packet]:
+    """Assign per-flow sequence numbers in arrival order (FIFO per flow)."""
+    ordered = sorted(packets, key=lambda p: (p.arrival, p.flow))
+    counters: Dict[str, int] = {}
+    out: List[Packet] = []
+    for p in ordered:
+        counters[p.flow] = counters.get(p.flow, 0) + 1
+        out.append(Packet(p.flow, p.arrival, p.length, counters[p.flow]))
+    return out
+
+
+def simulate_gps(flows: Sequence[Flow], packets: Sequence[Packet]) -> GPSResult:
+    """Exact fluid GPS simulation.
+
+    Within a *busy period*, virtual time advances with slope ``1/W_B`` over
+    the backlogged set; a packet with stamps ``(S, F)`` departs when ``V``
+    reaches ``F``.  Stamps per flow: ``S = max(V(arrival), F_prev)``,
+    ``F = S + L / w``.  Across idle gaps, ``V`` resets to 0 (standard
+    single-busy-period bookkeeping).
+    """
+    weights = {f.name: f.weight for f in flows}
+    for p in packets:
+        if p.flow not in weights:
+            raise KeyError(f"packet references unknown flow {p.flow!r}")
+    queue = _number_packets(packets)
+    result = GPSResult(weights=dict(weights))
+    for p in queue:
+        result.packets[(p.flow, p.index)] = (p.arrival, p.length)
+
+    # Per-flow FIFO of stamped, not-yet-departed packets.
+    pending: Dict[str, List[Packet]] = {f.name: [] for f in flows}
+    last_f: Dict[str, Fraction] = {f.name: Fraction(0) for f in flows}
+
+    t = Fraction(0)      # real time
+    v = Fraction(0)      # virtual time
+    result.v_breakpoints.append((t, v))
+    i = 0                # next arrival index
+    n = len(queue)
+
+    def backlogged_weight() -> Fraction:
+        return sum((weights[name] for name, q in pending.items() if q),
+                   Fraction(0))
+
+    while i < n or any(pending.values()):
+        w_b = backlogged_weight()
+        next_arrival = Fraction(queue[i].arrival) if i < n else None
+        if w_b == 0:
+            # Idle: jump to the next arrival, reset the virtual clock.
+            assert next_arrival is not None
+            t = max(t, next_arrival)
+            v = Fraction(0)
+            for name in last_f:
+                last_f[name] = Fraction(0)
+            result.v_breakpoints.append((t, v))
+            while i < n and Fraction(queue[i].arrival) == t:
+                pkt = queue[i]
+                i += 1
+                s = max(v, last_f[pkt.flow])
+                f = s + Fraction(pkt.length) / weights[pkt.flow]
+                last_f[pkt.flow] = f
+                result.stamps[(pkt.flow, pkt.index)] = (s, f)
+                pending[pkt.flow].append(pkt)
+            continue
+        # Earliest fluid departure among backlogged heads (min F overall —
+        # note every queued packet is being served in GPS, so consider all).
+        min_f = min(result.stamps[(name, p.index)][1]
+                    for name, q in pending.items() for p in q)
+        t_depart = t + (min_f - v) * w_b
+        if next_arrival is not None and next_arrival < t_depart:
+            # Advance to the arrival.
+            v = v + (next_arrival - t) / w_b
+            t = next_arrival
+            result.v_breakpoints.append((t, v))
+            while i < n and Fraction(queue[i].arrival) == t:
+                pkt = queue[i]
+                i += 1
+                s = max(v, last_f[pkt.flow])
+                f = s + Fraction(pkt.length) / weights[pkt.flow]
+                last_f[pkt.flow] = f
+                result.stamps[(pkt.flow, pkt.index)] = (s, f)
+                pending[pkt.flow].append(pkt)
+            continue
+        # Advance to the departure.
+        v = min_f
+        t = t_depart
+        result.v_breakpoints.append((t, v))
+        for name, q in pending.items():
+            remaining = []
+            for p in q:
+                if result.stamps[(name, p.index)][1] <= v:
+                    result.finish[(name, p.index)] = t
+                else:
+                    remaining.append(p)
+            pending[name] = remaining
+    return result

@@ -1,0 +1,68 @@
+"""Virtual Clock (Zhang, cited as [40] by the paper).
+
+Each flow keeps an auxiliary clock: a packet of length ``L`` on a flow
+reserved at rate ``r`` is stamped
+
+    auxVC = max(arrival, auxVC) + L / r
+
+and the link serves packets in stamp order.  Virtual Clock provides the
+reserved throughput to continuously backlogged flows, but — unlike
+WFQ/GPS — a flow that *idles* keeps its low clock only until it sends
+again, after which its backlog of "saved-up" low stamps lets it starve
+competitors; conversely a flow that used idle capacity is punished later.
+That history-sensitivity is precisely what "fairness" in the GPS sense
+(and Pfairness in the paper's sense) rules out: entitlement depends only
+on the present backlog and weights, never on past generosity.
+
+``tests/test_netfair.py`` demonstrates both faces: the throughput
+guarantee, and the punishment anomaly WFQ does not exhibit.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from .gps import Flow, Packet, _number_packets
+from .wfq import PacketizedResult
+
+__all__ = ["simulate_virtual_clock"]
+
+
+def simulate_virtual_clock(flows: Sequence[Flow],
+                           packets: Sequence[Packet]) -> PacketizedResult:
+    """Simulate Virtual Clock on a rate-1 link (non-preemptive).
+
+    Flow weights are interpreted as reserved rates (they should sum to at
+    most 1 for the guarantees to be meaningful, as with GPS weights).
+    """
+    weights = {f.name: f.weight for f in flows}
+    queue = _number_packets(packets)
+    for p in queue:
+        if p.flow not in weights:
+            raise KeyError(f"packet references unknown flow {p.flow!r}")
+    # Stamp packets in arrival order.
+    aux: Dict[str, Fraction] = {f.name: Fraction(0) for f in flows}
+    stamp: Dict[Tuple[str, int], Fraction] = {}
+    for p in queue:
+        aux[p.flow] = max(Fraction(p.arrival), aux[p.flow]) \
+            + Fraction(p.length) / weights[p.flow]
+        stamp[(p.flow, p.index)] = aux[p.flow]
+    result = PacketizedResult(algorithm="VirtualClock")
+    t = Fraction(0)
+    i = 0
+    n = len(queue)
+    backlog: List[Packet] = []
+    while i < n or backlog:
+        if not backlog:
+            t = max(t, Fraction(queue[i].arrival))
+        while i < n and Fraction(queue[i].arrival) <= t:
+            backlog.append(queue[i])
+            i += 1
+        chosen = min(backlog, key=lambda p: (stamp[(p.flow, p.index)],
+                                             p.flow, p.index))
+        backlog.remove(chosen)
+        t = t + chosen.length
+        result.departure[(chosen.flow, chosen.index)] = t
+        result.order.append((chosen.flow, chosen.index))
+    return result

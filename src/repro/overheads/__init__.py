@@ -1,0 +1,27 @@
+"""System-overhead accounting: the model (C, S, D, q), Eq. (3) execution-
+cost inflation, and the Fig. 2 per-invocation measurement harness."""
+
+from .calibrate import calibrate_model
+from .inflation import PD2Inflation, pd2_inflate, pd2_inflate_set, pd2_total_weight
+from .measure import OverheadSample, measure_edf_overhead, measure_pd2_overhead
+from .model import (
+    OverheadModel,
+    PAPER_EDF_TABLE,
+    PAPER_PD2_TABLES,
+    interp_table,
+)
+
+__all__ = [
+    "calibrate_model",
+    "OverheadModel",
+    "interp_table",
+    "PAPER_EDF_TABLE",
+    "PAPER_PD2_TABLES",
+    "PD2Inflation",
+    "pd2_inflate",
+    "pd2_inflate_set",
+    "pd2_total_weight",
+    "OverheadSample",
+    "measure_pd2_overhead",
+    "measure_edf_overhead",
+]

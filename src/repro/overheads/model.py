@@ -1,0 +1,122 @@
+"""The system-overhead model: C, S_EDF(N), S_PD2(N, M), D(T), q.
+
+The paper's schedulability comparison (Figs. 3–4) charges both approaches
+for three kinds of overhead (Sec. 4):
+
+* **context switching** — a constant ``C`` per switch; the paper fixes
+  C = 5 µs ("between 1 and 10 µs in modern processors");
+* **scheduling** — ``S_EDF(N)`` per EDF invocation and ``S_PD2(N, M)`` per
+  PD² invocation, taken from the Fig. 2 measurements (PD² runs one
+  system-wide scheduler, so its cost grows with both the task count and
+  the processor count; EDF's per-processor schedulers do not);
+* **cache-related preemption delay** — a per-task ``D(T)``, drawn
+  uniformly from [0, 100] µs (mean 33.3 µs), charged on every resumption
+  after a preemption or migration under the paper's cold-cache assumption.
+
+The default scheduling-cost curves are piecewise-linear interpolations of
+the values read off Fig. 2 (933 MHz hardware, µs).  They are deliberately
+*data*, not code: pass ``sched_edf`` / ``sched_pd2`` callables to use
+values measured on your own machine with :mod:`repro.overheads.measure`
+instead — the README documents that Python-measured constants are ~100×
+larger and move the crossovers accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Tuple
+
+__all__ = ["OverheadModel", "interp_table", "PAPER_EDF_TABLE", "PAPER_PD2_TABLES"]
+
+
+def interp_table(xs: Sequence[float], ys: Sequence[float]) -> Callable[[float], float]:
+    """Piecewise-linear interpolation with flat extrapolation at the ends."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two or more matching points")
+    if any(b <= a for a, b in zip(xs, xs[1:])):
+        raise ValueError("x values must be strictly increasing")
+    xs = list(xs)
+    ys = list(ys)
+
+    def f(x: float) -> float:
+        if x <= xs[0]:
+            return ys[0]
+        if x >= xs[-1]:
+            return ys[-1]
+        for i in range(len(xs) - 1):
+            if x <= xs[i + 1]:
+                t = (x - xs[i]) / (xs[i + 1] - xs[i])
+                return ys[i] + t * (ys[i + 1] - ys[i])
+        raise AssertionError("unreachable")
+
+    return f
+
+
+#: Fig. 2(a), EDF curve: per-invocation cost in µs vs. task count.
+PAPER_EDF_TABLE: Tuple[Sequence[float], Sequence[float]] = (
+    (15, 100, 250, 500, 1000),
+    (0.8, 1.2, 1.6, 2.0, 2.5),
+)
+
+#: Fig. 2(a)/(b), PD² curves: per-invocation cost in µs vs. task count,
+#: one table per processor count (interpolated in log2 M between rows).
+PAPER_PD2_TABLES = {
+    1: ((15, 100, 250, 500, 1000), (1.0, 2.5, 3.5, 5.0, 7.5)),
+    2: ((15, 100, 250, 500, 1000), (1.5, 3.5, 5.0, 7.0, 10.0)),
+    4: ((15, 100, 250, 500, 1000), (2.0, 5.0, 8.0, 11.0, 16.0)),
+    8: ((15, 100, 250, 500, 1000), (3.0, 8.0, 13.0, 18.0, 27.0)),
+    16: ((15, 100, 250, 500, 1000), (5.0, 13.0, 21.0, 30.0, 45.0)),
+}
+
+
+def _paper_edf(n: float) -> float:
+    return interp_table(*PAPER_EDF_TABLE)(n)
+
+
+def _paper_pd2(n: float, m: float) -> float:
+    ms = sorted(PAPER_PD2_TABLES)
+    m = max(ms[0], min(m, ms[-1]))
+    lo = max(k for k in ms if k <= m)
+    hi = min(k for k in ms if k >= m)
+    y_lo = interp_table(*PAPER_PD2_TABLES[lo])(n)
+    if lo == hi:
+        return y_lo
+    y_hi = interp_table(*PAPER_PD2_TABLES[hi])(n)
+    t = (math.log2(m) - math.log2(lo)) / (math.log2(hi) - math.log2(lo))
+    return y_lo + t * (y_hi - y_lo)
+
+
+@dataclass
+class OverheadModel:
+    """All overhead constants for the Eq. (3) inflation, in µs ticks.
+
+    ``sched_edf(N)`` and ``sched_pd2(N, M)`` return µs as floats (the
+    inflation code rounds results up to whole ticks at the end, never
+    before — premature rounding would bias small tasks).
+    """
+
+    context_switch: int = 5
+    quantum: int = 1000
+    sched_edf: Callable[[float], float] = field(default=_paper_edf)
+    sched_pd2: Callable[[float, float], float] = field(default=_paper_pd2)
+
+    def __post_init__(self) -> None:
+        if self.context_switch < 0:
+            raise ValueError("context switch cost must be nonnegative")
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+
+    def edf_fixed_inflation(self, n_tasks: int) -> int:
+        """The task-independent EDF term ``2(S_EDF + C)``, rounded up."""
+        return math.ceil(2 * (self.sched_edf(n_tasks) + self.context_switch))
+
+    def pd2_sched_cost(self, n_tasks: int, processors: int) -> float:
+        """``S_PD2(N, M)`` in µs."""
+        return self.sched_pd2(n_tasks, processors)
+
+    @classmethod
+    def zero(cls, quantum: int = 1000) -> "OverheadModel":
+        """A no-overhead model (isolates pure quantisation loss)."""
+        return cls(context_switch=0, quantum=quantum,
+                   sched_edf=lambda n: 0.0, sched_pd2=lambda n, m: 0.0)

@@ -1,0 +1,153 @@
+"""Blocking-aware schedulability: resource sharing under partitioning.
+
+The paper's Sec. 5.1 argument, made computable.  When partitioned tasks
+share resources, per-processor tests pick up *blocking terms*:
+
+* **local blocking** — with a stack/ceiling protocol (SRP), a job is
+  blocked at most once, by the longest critical section of a co-resident
+  task with a longer period/deadline.  Baker's exact-style EDF-SRP
+  condition, per task ``i`` in nondecreasing relative-deadline order::
+
+      B_i / D_i  +  sum_{j : D_j <= D_i} u_j   <=  1
+
+* **remote blocking** — if a resource's users land on *different*
+  processors, every request can additionally wait for the sections of
+  users on other processors (the MPCP shape; per request we charge the
+  optimistic one-section-per-remote-user bound of
+  :func:`repro.sync.locks.mpcp_remote_blocking`).  Remote blocking
+  inflates the blocked task's execution cost.
+
+Both approaches are charged against the *same request model*: each
+resource-using task issues ``requests_per_job`` lock requests per job.
+The acceptance test :class:`EDFBlockingTest` applies local + remote
+blocking given the full system's resource map (to know which users are
+remote).  The Pfair side of the same coin is
+:func:`pd2_section_inflation`: quantum-boundary locking never blocks
+across tasks; each request costs at most one deferred quantum tail
+(< one maximum section) of lost time, independent of how many *other*
+tasks use the resource — that independence is the whole argument.
+
+Together these power ``benchmarks/bench_ext_resource_sharing.py``, which
+quantifies the conclusion's claim that with synchronization incorporated
+"EDF-FF would likely have performed much more poorly than PD²".
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..workload.spec import TaskSpec
+from .accept import AcceptanceTest
+from .bins import ProcessorBin
+
+__all__ = [
+    "local_blocking",
+    "edf_srp_feasible",
+    "EDFBlockingTest",
+    "pd2_section_inflation",
+]
+
+
+def local_blocking(specs: Sequence[TaskSpec], which: int) -> int:
+    """SRP local blocking of ``specs[which]``: the longest section of a
+    co-resident task with a strictly larger relative deadline that shares
+    *any* resource usage (ceilinged resources block regardless of
+    identity, so any section of a longer-deadline task counts)."""
+    me = specs[which]
+    d_me = me.relative_deadline
+    return max((s.max_section for s in specs
+                if s.relative_deadline > d_me and s.max_section > 0),
+               default=0)
+
+
+def edf_srp_feasible(specs: Sequence[TaskSpec],
+                     remote_blocking: Optional[Dict[str, int]] = None) -> bool:
+    """Baker's EDF-SRP test with optional per-task remote blocking.
+
+    ``remote_blocking`` maps task name to extra ticks of cross-processor
+    blocking charged per job (added to the task's execution cost, the
+    standard treatment under MPCP-style accounting).
+    """
+    if not specs:
+        return True
+    remote = remote_blocking or {}
+    inflated = [
+        s.execution + remote.get(s.name, 0) for s in specs
+    ]
+    order = sorted(range(len(specs)),
+                   key=lambda k: specs[k].relative_deadline)
+    total_u = Fraction(0)
+    for rank, k in enumerate(order):
+        s = specs[k]
+        if inflated[k] > s.relative_deadline:
+            return False
+        total_u += Fraction(inflated[k], s.period)
+        b = local_blocking(specs, k)
+        if Fraction(b, s.relative_deadline) + total_u > 1:
+            return False
+    return total_u <= 1
+
+
+class EDFBlockingTest(AcceptanceTest):
+    """Partitioning acceptance with SRP local + MPCP-style remote blocking.
+
+    ``system`` is the whole task set (to find a resource's users that end
+    up on other processors).  Remote blocking of a task = one longest
+    section per same-resource user *not* in the candidate bin.  Because
+    remote blocking depends on the final placement of every user, this
+    test is conservative at admission time: unseen users are assumed
+    remote — the same pessimism an online partitioned system faces.
+    """
+
+    algorithm = "edf"
+
+    def __init__(self, system: Sequence[TaskSpec], *,
+                 requests_per_job: Union[int, Callable[[TaskSpec], int]] = 1
+                 ) -> None:
+        if isinstance(requests_per_job, int):
+            if requests_per_job < 1:
+                raise ValueError("requests_per_job must be at least 1")
+            self._requests = lambda s, r=requests_per_job: r
+        else:
+            self._requests = requests_per_job
+        self.system = list(system)
+        #: resource -> list of (name, max_section) of its users.
+        self._users: Dict[str, List] = {}
+        for s in self.system:
+            if s.resource:
+                self._users.setdefault(s.resource, []).append(
+                    (s.name, s.max_section))
+
+    def _remote_blocking(self, bin_specs: Sequence[TaskSpec],
+                         spec: TaskSpec) -> Dict[str, int]:
+        local_names = {s.name for s in bin_specs} | {spec.name}
+        out: Dict[str, int] = {}
+        for s in list(bin_specs) + [spec]:
+            if not s.resource:
+                continue
+            remote_secs = [sec for (name, sec) in self._users[s.resource]
+                           if name not in local_names]
+            out[s.name] = self._requests(s) * sum(remote_secs)
+        return out
+
+    def admit(self, bin: ProcessorBin, spec: TaskSpec) -> Optional[Fraction]:
+        candidate = list(bin.tasks) + [spec]
+        remote = self._remote_blocking(bin.tasks, spec)
+        if edf_srp_feasible(candidate, remote):
+            return spec.utilization
+        return None
+
+
+def pd2_section_inflation(execution: int, requests_per_job: int,
+                          max_section: int) -> int:
+    """Pfair-side synchronization charge per job.
+
+    Under quantum-boundary locking, a request that would cross the slot
+    boundary is deferred; the task loses the tail of that quantum —
+    strictly less than one ``max_section`` — and nothing else, no matter
+    how many other tasks contend.  Charging every request as deferred
+    gives the inflated cost ``e + R·s_max``."""
+    if max_section == 0:
+        return execution
+    return execution + requests_per_job * max_section

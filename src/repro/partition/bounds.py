@@ -1,0 +1,89 @@
+"""Analytic utilization bounds for partitioned scheduling (paper, Sec. 3).
+
+These are the closed-form results the paper cites when arguing that
+partitioning is inherently lossy:
+
+* the worst-case achievable utilization of *every* partitioning heuristic
+  on M processors is ``(M+1)/2`` — witnessed by ``M+1`` tasks of
+  utilization ``(1+eps)/2`` (:func:`pathological_specs`);
+* with per-task utilization capped at ``u_max``, any set with total
+  utilization at most ``M - (M-1)·u_max`` is schedulable
+  (:func:`simple_guarantee`);
+* Lopez et al. tightened that to ``(β·M + 1)/(β + 1)`` with
+  ``β = floor(1/u_max)`` (:func:`lopez_guarantee`);
+* Oh & Baker: RM-FF guarantees only about 41% of capacity
+  (:func:`oh_baker_rm_guarantee`).
+
+All bounds are returned as exact :class:`fractions.Fraction` values.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from ..workload.spec import TaskSpec
+
+__all__ = [
+    "worst_case_achievable",
+    "simple_guarantee",
+    "lopez_guarantee",
+    "lopez_beta",
+    "oh_baker_rm_guarantee",
+    "pathological_specs",
+]
+
+
+def worst_case_achievable(processors: int) -> Fraction:
+    """``(M+1)/2``: no heuristic can guarantee more total utilization than
+    this on M processors (even with EDF locally)."""
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    return Fraction(processors + 1, 2)
+
+
+def simple_guarantee(processors: int, u_max: Fraction) -> Fraction:
+    """``M − (M−1)·u_max``: schedulable whenever total utilization is at
+    most this, given no task exceeds ``u_max``."""
+    if not 0 < u_max <= 1:
+        raise ValueError("u_max must be in (0, 1]")
+    return processors - (processors - 1) * Fraction(u_max)
+
+
+def lopez_beta(u_max: Fraction) -> int:
+    """``β = floor(1/u_max)``."""
+    if not 0 < u_max <= 1:
+        raise ValueError("u_max must be in (0, 1]")
+    return int(Fraction(1) / Fraction(u_max))
+
+
+def lopez_guarantee(processors: int, u_max: Fraction) -> Fraction:
+    """Lopez et al.: the worst-case achievable utilization of EDF
+    partitioning is ``(β·M + 1)/(β + 1)``."""
+    beta = lopez_beta(u_max)
+    return Fraction(beta * processors + 1, beta + 1)
+
+
+def oh_baker_rm_guarantee(processors: int) -> float:
+    """Oh & Baker's RM-FF guarantee, ``M·(2^{1/2} − 1)`` ≈ 0.414·M — the
+    "41%" figure the paper quotes against RM partitioning."""
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    return processors * (2 ** 0.5 - 1)
+
+
+def pathological_specs(processors: int, *, eps_num: int = 1,
+                       eps_den: int = 100, period: int = 200_000) -> List[TaskSpec]:
+    """``M+1`` tasks each of utilization ``(1+eps)/2`` with
+    ``eps = eps_num/eps_den`` — unpartitionable on M processors by any
+    heuristic, yet of total utilization approaching ``(M+1)/2``.
+
+    The period must make ``(1+eps)·p/2`` integral (default: 200 ms with
+    eps = 1/100 gives e = 101 ms exactly).
+    """
+    num = (eps_den + eps_num) * period
+    if num % (2 * eps_den) != 0:
+        raise ValueError("choose period so (1+eps)*period/2 is an integer")
+    e = num // (2 * eps_den)
+    return [TaskSpec(execution=e, period=period, name=f"P{i}")
+            for i in range(processors + 1)]

@@ -1,0 +1,118 @@
+"""Processor-demand analysis: exact EDF feasibility beyond implicit deadlines.
+
+The paper compares against EDF-FF with implicit deadlines, where the exact
+per-processor test is just ``U <= 1``.  Real partitioned systems often
+carry *constrained* deadlines (``D < p`` — e.g. input-to-output latency
+budgets), and there the exact condition is Baruah, Rosier & Howell's
+processor-demand criterion::
+
+    U <= 1   and   dbf(t) <= t  for every absolute deadline t in (0, L]
+
+with the demand bound function
+
+    dbf(t) = sum over tasks of  max(0, floor((t - D_i) / p_i) + 1) * e_i
+
+and ``L`` the synchronous busy-period / hyperperiod bound.  Everything is
+exact integer arithmetic; only the deadlines in (0, L] need testing
+because dbf is a step function that jumps exactly there.
+
+:class:`EDFDemandTest` plugs the criterion into the partitioning
+heuristics as an acceptance test, extending EDF-FF to constrained
+deadlines — a strictly stronger oracle than the utilization test (and
+equal to it when all deadlines are implicit).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+from typing import List, Optional, Sequence
+
+from ..workload.spec import TaskSpec
+from .accept import AcceptanceTest
+from .bins import ProcessorBin
+
+__all__ = [
+    "demand_bound",
+    "testing_points",
+    "edf_feasible",
+    "EDFDemandTest",
+]
+
+
+def demand_bound(specs: Sequence[TaskSpec], t: int) -> int:
+    """``dbf(t)``: total execution that must complete within any interval
+    of length ``t`` (synchronous arrivals, constrained deadlines)."""
+    if t < 0:
+        raise ValueError("interval length must be nonnegative")
+    total = 0
+    for s in specs:
+        d = s.relative_deadline
+        if t >= d:
+            total += ((t - d) // s.period + 1) * s.execution
+    return total
+
+
+def _busy_bound(specs: Sequence[TaskSpec]) -> int:
+    """A valid testing-interval bound L.
+
+    For ``U < 1`` the standard bound ``max(D_i) +
+    U/(1-U) · max(p_i - D_i)`` applies; for ``U == 1`` fall back to the
+    hyperperiod (always sufficient for synchronous periodic sets).  The
+    returned bound is additionally capped by the hyperperiod, which is
+    itself always sufficient.
+    """
+    hyper = lcm(*(s.period for s in specs))
+    u = sum((Fraction(s.execution, s.period) for s in specs), Fraction(0))
+    if u >= 1:
+        return hyper
+    max_d = max(s.relative_deadline for s in specs)
+    slack = max(s.period - s.relative_deadline for s in specs)
+    la = max_d + (u / (1 - u)) * slack
+    l_star = int(la) + 1
+    return min(l_star, hyper)
+
+
+def testing_points(specs: Sequence[TaskSpec],
+                   limit: Optional[int] = None) -> List[int]:
+    """All absolute deadlines in ``(0, L]`` — the points where dbf jumps."""
+    if not specs:
+        return []
+    bound = _busy_bound(specs) if limit is None else limit
+    points = set()
+    for s in specs:
+        d = s.relative_deadline
+        t = d
+        while t <= bound:
+            points.add(t)
+            t += s.period
+    return sorted(points)
+
+
+def edf_feasible(specs: Sequence[TaskSpec]) -> bool:
+    """Exact uniprocessor EDF feasibility (processor-demand criterion)."""
+    if not specs:
+        return True
+    u = sum((Fraction(s.execution, s.period) for s in specs), Fraction(0))
+    if u > 1:
+        return False
+    if all(s.deadline is None for s in specs):
+        return True  # implicit deadlines: U <= 1 is exact
+    return all(demand_bound(specs, t) <= t for t in testing_points(specs))
+
+
+class EDFDemandTest(AcceptanceTest):
+    """Partitioning acceptance by the exact demand criterion.
+
+    Like the exact RM response-time test, acceptance depends on the whole
+    bin content (the paper's "variable-sized bins" observation), so each
+    admission re-analyses the candidate bin.
+    """
+
+    algorithm = "edf"
+
+    def admit(self, bin: ProcessorBin, spec: TaskSpec) -> Optional[Fraction]:
+        candidate = list(bin.tasks) + [spec]
+        if edf_feasible(candidate):
+            return spec.utilization
+        return None

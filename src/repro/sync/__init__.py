@@ -1,0 +1,23 @@
+"""Synchronization under Pfair's tight synchrony: quantum-boundary locking
+and lock-free retry bounds (paper, Sec. 5.1)."""
+
+from .lockfree import RetryBound, pfair_retry_bound, simulate_retry_loop
+from .simulate import LockingOutcome, overlay_critical_sections
+from .locks import (
+    CriticalSection,
+    QuantumLockManager,
+    max_blocking,
+    mpcp_remote_blocking,
+)
+
+__all__ = [
+    "CriticalSection",
+    "QuantumLockManager",
+    "max_blocking",
+    "mpcp_remote_blocking",
+    "LockingOutcome",
+    "overlay_critical_sections",
+    "RetryBound",
+    "pfair_retry_bound",
+    "simulate_retry_loop",
+]

@@ -1,0 +1,44 @@
+"""Shared test fixtures and helpers.
+
+Also inserts ``src/`` into ``sys.path`` so the suite runs even in an
+environment where the editable install is unavailable (the offline image
+lacks the ``wheel`` package PEP 660 needs; see README).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402
+
+from repro.core.task import PeriodicTask  # noqa: E402
+
+
+@pytest.fixture
+def fig1_task() -> PeriodicTask:
+    """The paper's Fig. 1(a) task: weight 8/11."""
+    return PeriodicTask(8, 11, name="T")
+
+
+def make_feasible_set(rng, n_tasks: int, processors: int, *, max_period: int = 24):
+    """Random integer-weight task set with total weight <= processors.
+
+    Used by the empirical-optimality tests: draw periods, then execution
+    costs, and admit tasks while the exact weight sum stays within M.
+    """
+    from repro.core.rational import Weight, weight_sum
+    from repro.core.task import PeriodicTask
+
+    tasks = []
+    budget_num, budget_den = processors, 1
+    for _ in range(n_tasks):
+        p = int(rng.integers(2, max_period + 1))
+        e = int(rng.integers(1, p + 1))
+        w = Weight.of_task(e, p)
+        total = weight_sum([t.weight for t in tasks] + [w])
+        if total <= processors:
+            tasks.append(PeriodicTask(e, p))
+    return tasks

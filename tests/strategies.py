@@ -1,0 +1,47 @@
+"""Hypothesis strategies for Pfair scheduling property tests.
+
+These generate *feasible* task systems — the precondition of every
+optimality theorem — so properties read as "for all feasible systems,
+PD² produces a valid Pfair schedule".
+"""
+
+from math import lcm
+
+from hypothesis import strategies as st
+
+from repro.core.rational import Weight, weight_sum
+from repro.core.task import PeriodicTask
+
+__all__ = ["weights", "feasible_task_systems"]
+
+#: A single integer weight (e, p) with small periods (keeps lcm horizons
+#: tractable inside hypothesis deadlines).
+weights = st.integers(2, 12).flatmap(
+    lambda p: st.tuples(st.integers(1, p), st.just(p))
+)
+
+
+@st.composite
+def feasible_task_systems(draw, max_processors: int = 3, max_tasks: int = 8,
+                          max_period: int = 12):
+    """Draw ``(tasks, processors, horizon)`` with total weight <= M.
+
+    Tasks are admitted greedily while the exact weight sum stays within
+    the drawn processor count; the horizon covers at least one full
+    hyperperiod (capped to keep runs quick).
+    """
+    processors = draw(st.integers(1, max_processors))
+    n = draw(st.integers(1, max_tasks))
+    pairs = draw(st.lists(
+        st.integers(2, max_period).flatmap(
+            lambda p: st.tuples(st.integers(1, p), st.just(p))),
+        min_size=n, max_size=n))
+    tasks = []
+    for e, p in pairs:
+        w = Weight.of_task(e, p)
+        if weight_sum([t.weight for t in tasks] + [w]) <= processors:
+            tasks.append(PeriodicTask(e, p))
+    if not tasks:
+        tasks = [PeriodicTask(1, max_period)]
+    horizon = min(lcm(*(t.period for t in tasks)) * 2, 300)
+    return tasks, processors, horizon

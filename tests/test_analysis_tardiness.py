@@ -1,0 +1,62 @@
+"""Tests for tardiness profiling and the EPDF tardiness experiment."""
+
+import pytest
+
+from repro.analysis.tardiness import (
+    TardinessProfile,
+    epdf_tardiness_experiment,
+    tardiness_profile,
+)
+from repro.core.pd2 import schedule_pd2
+from repro.core.task import PeriodicTask
+
+
+class TestProfile:
+    def test_clean_run_profiles_empty(self):
+        res = schedule_pd2([PeriodicTask(1, 2)], 1, 20)
+        prof = tardiness_profile(res)
+        assert prof.misses == 0
+        assert prof.max_tardiness == 0
+        assert prof.mean_tardiness == 0.0
+        assert prof.bounded
+
+    def test_overloaded_run_profiles_lateness(self):
+        tasks = [PeriodicTask(1, 2) for _ in range(3)]  # U = 1.5 on 1 CPU
+        res = schedule_pd2(tasks, 1, 30)
+        prof = tardiness_profile(res)
+        assert prof.misses > 0
+        assert prof.max_tardiness >= 1
+        assert sum(prof.histogram.values()) == prof.misses - prof.unfinished
+        if prof.unfinished:
+            assert not prof.bounded
+
+    def test_mean_consistent_with_histogram(self):
+        tasks = [PeriodicTask(1, 2) for _ in range(3)]
+        res = schedule_pd2(tasks, 1, 40)
+        prof = tardiness_profile(res)
+        finished = prof.misses - prof.unfinished
+        if finished:
+            mean = sum(t * c for t, c in prof.histogram.items()) / finished
+            assert prof.mean_tardiness == pytest.approx(mean)
+
+
+class TestEPDFTardiness:
+    def test_epdf_degrades_gracefully(self):
+        """EPDF on fully loaded 4-CPU sets: misses exist across enough
+        trials, but observed tardiness is small — EPDF is a soft-real-time
+        algorithm, not a broken one."""
+        runs, miss_sets, pooled = epdf_tardiness_experiment(
+            processors=4, trials=60, horizon=240, seed=0)
+        assert runs == 60
+        assert miss_sets > 0
+        assert pooled.misses > 0
+        assert pooled.max_tardiness <= 4, (
+            f"EPDF tardiness {pooled.max_tardiness} larger than expected"
+        )
+        assert pooled.mean_tardiness <= 2.0
+
+    def test_reproducible(self):
+        a = epdf_tardiness_experiment(processors=3, trials=20, seed=5)
+        b = epdf_tardiness_experiment(processors=3, trials=20, seed=5)
+        assert a[1] == b[1]
+        assert a[2].misses == b[2].misses

@@ -1,0 +1,135 @@
+"""Unit and property tests for exact Weight arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rational import Weight, weight_sum
+
+pos = st.integers(min_value=1, max_value=10**6)
+
+
+class TestConstruction:
+    def test_reduces_to_lowest_terms(self):
+        w = Weight(4, 6)
+        assert (w.num, w.den) == (2, 3)
+
+    def test_of_task_bounds(self):
+        assert Weight.of_task(1, 1).is_unit()
+        with pytest.raises(ValueError):
+            Weight.of_task(3, 2)
+        with pytest.raises(ValueError):
+            Weight.of_task(0, 2)
+        with pytest.raises(ValueError):
+            Weight.of_task(1, 0)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Weight(1, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Weight(-1, 2)
+
+    def test_immutable(self):
+        w = Weight(1, 2)
+        with pytest.raises(AttributeError):
+            w.num = 3
+
+
+class TestPredicates:
+    def test_light_heavy_boundary(self):
+        assert Weight(1, 3).is_light()
+        assert not Weight(1, 2).is_light()  # exactly 1/2 is heavy
+        assert Weight(1, 2).is_heavy()
+        assert Weight(2, 3).is_heavy()
+
+    def test_unit(self):
+        assert Weight(5, 5).is_unit()
+        assert not Weight(4, 5).is_unit()
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Weight(1, 5) + Weight(1, 45) == Weight(2, 9)
+
+    def test_sub(self):
+        assert Weight(2, 9) - Weight(1, 45) == Weight(1, 5)
+
+    def test_sub_negative_raises(self):
+        with pytest.raises(ValueError):
+            Weight(1, 45) - Weight(1, 5)
+
+    def test_mul_int(self):
+        assert Weight(2, 9) * 3 == Weight(2, 3)
+        assert 3 * Weight(2, 9) == Weight(2, 3)
+
+    def test_mul_weight(self):
+        assert Weight(1, 2) * Weight(2, 3) == Weight(1, 3)
+
+
+class TestComparisons:
+    def test_ordering(self):
+        assert Weight(1, 3) < Weight(1, 2) < Weight(2, 3)
+        assert Weight(1, 2) <= Weight(1, 2)
+        assert Weight(2, 3) > Weight(1, 2)
+        assert Weight(2, 3) >= Weight(2, 3)
+
+    def test_int_comparisons(self):
+        assert Weight(1, 2) < 1
+        assert Weight(3, 3) <= 1
+        assert Weight(3, 3) == 1
+        assert not (Weight(3, 2) <= 1)
+
+    def test_hash_consistency(self):
+        assert hash(Weight(2, 4)) == hash(Weight(1, 2))
+        assert len({Weight(2, 4), Weight(1, 2), Weight(3, 6)}) == 1
+
+    def test_float_and_ceil_floor(self):
+        assert float(Weight(1, 2)) == 0.5
+        assert Weight(5, 2).ceil() == 3
+        assert Weight(5, 2).floor() == 2
+        assert Weight(4, 2).ceil() == 2
+
+
+class TestWeightSum:
+    def test_empty(self):
+        assert weight_sum([]) == Weight(0, 1)
+
+    def test_fig5_supertask(self):
+        # Paper Fig. 5: 1/5 + 1/45 = 2/9.
+        assert weight_sum([Weight(1, 5), Weight(1, 45)]) == Weight(2, 9)
+
+    def test_exact_boundary(self):
+        # 1/2 + 1/3 + 1/6 == 1 exactly; must not tip over.
+        total = weight_sum([Weight(1, 2), Weight(1, 3), Weight(1, 6)])
+        assert total == Weight(1, 1)
+        assert total <= 1
+
+    def test_fig5_total(self):
+        ws = [Weight(1, 2), Weight(1, 3), Weight(1, 3), Weight(2, 9), Weight(2, 9)]
+        assert weight_sum(ws) == Weight(29, 18)
+
+
+@given(a=pos, b=pos, c=pos, d=pos)
+def test_prop_add_matches_fractions(a, b, c, d):
+    from fractions import Fraction
+
+    w = Weight(a, b) + Weight(c, d)
+    assert Fraction(w.num, w.den) == Fraction(a, b) + Fraction(c, d)
+
+
+@given(a=pos, b=pos, c=pos, d=pos)
+def test_prop_ordering_matches_fractions(a, b, c, d):
+    from fractions import Fraction
+
+    assert (Weight(a, b) < Weight(c, d)) == (Fraction(a, b) < Fraction(c, d))
+    assert (Weight(a, b) == Weight(c, d)) == (Fraction(a, b) == Fraction(c, d))
+
+
+@given(st.lists(st.tuples(pos, pos), min_size=1, max_size=20))
+def test_prop_weight_sum_matches_fractions(pairs):
+    from fractions import Fraction
+
+    total = weight_sum(Weight(a, b) for a, b in pairs)
+    expected = sum(Fraction(a, b) for a, b in pairs)
+    assert Fraction(total.num, total.den) == expected

@@ -1,0 +1,187 @@
+"""Empirical optimality and behaviour of the Pfair schedulers.
+
+The theorems reproduced as bulk randomized checks:
+
+* PD², PD, PF never miss a pseudo-deadline on any task set with total
+  weight at most M (their optimality results);
+* resulting schedules are Pfair: all lags in (−1, 1);
+* ER-PD² never misses and is work conserving;
+* EPDF (no tie-breaks) *does* miss on some feasible sets with M >= 3 —
+  tie-breaks are load-bearing.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_feasible_set
+from repro.core.epdf import EPDFScheduler, schedule_epdf
+from repro.core.erfair import ERPD2Scheduler, is_work_conserving_run, schedule_erfair
+from repro.core.pd import schedule_pd
+from repro.core.pd2 import PD2Scheduler, schedule_pd2
+from repro.core.pf import schedule_pf
+from repro.core.rational import weight_sum
+from repro.core.task import PeriodicTask, TaskSet
+from repro.sim.quantum import DeadlineMissError
+from repro.sim.validate import validate_schedule
+
+
+def lcm_horizon(tasks, reps=2, cap=600):
+    from math import lcm
+
+    h = lcm(*(t.period for t in tasks)) * reps
+    return min(h, cap)
+
+
+class TestPD2Optimality:
+    def test_three_tasks_two_processors(self):
+        """The paper's Sec.-1 example: three (2,3) tasks on 2 CPUs."""
+        tasks = [PeriodicTask(2, 3) for _ in range(3)]
+        res = schedule_pd2(tasks, 2, 30, on_miss="raise")
+        validate_schedule(res.trace, tasks, 2, 30, periodic_lags=True)
+
+    def test_full_utilization_unit_tasks(self):
+        tasks = [PeriodicTask(1, 1), PeriodicTask(1, 1)]
+        res = schedule_pd2(tasks, 2, 20, on_miss="raise")
+        assert res.stats.stats_for(tasks[0]).quanta == 20
+
+    def test_fig1a_task_alone(self):
+        t = PeriodicTask(8, 11)
+        res = schedule_pd2([t], 1, 110, on_miss="raise")
+        validate_schedule(res.trace, [t], 1, 110, periodic_lags=True)
+        assert res.stats.stats_for(t).quanta == 80
+
+    @pytest.mark.parametrize("processors", [1, 2, 3, 4, 8])
+    def test_random_feasible_sets_never_miss(self, processors):
+        rng = np.random.default_rng(processors)
+        for trial in range(8):
+            tasks = make_feasible_set(rng, 4 * processors, processors)
+            if not tasks:
+                continue
+            horizon = lcm_horizon(tasks)
+            res = schedule_pd2(tasks, processors, horizon, on_miss="raise")
+            validate_schedule(res.trace, tasks, processors, horizon,
+                              periodic_lags=True)
+
+    def test_exact_total_weight_m(self):
+        """Total weight exactly M: the tightest feasible case."""
+        tasks = [PeriodicTask(1, 2), PeriodicTask(1, 3), PeriodicTask(1, 6),
+                 PeriodicTask(2, 3), PeriodicTask(1, 3)]
+        assert weight_sum(t.weight for t in tasks) == 2
+        res = schedule_pd2(tasks, 2, 60, on_miss="raise")
+        validate_schedule(res.trace, tasks, 2, 60, periodic_lags=True)
+
+    def test_phased_tasks(self):
+        tasks = [PeriodicTask(1, 2, phase=3), PeriodicTask(2, 3, phase=1),
+                 PeriodicTask(1, 4)]
+        res = schedule_pd2(tasks, 2, 60, on_miss="raise")
+        validate_schedule(res.trace, tasks, 2, 60)
+
+
+class TestPFAndPD:
+    @pytest.mark.parametrize("scheduler", [schedule_pf, schedule_pd])
+    def test_random_feasible_sets_never_miss(self, scheduler):
+        rng = np.random.default_rng(42)
+        for trial in range(6):
+            tasks = make_feasible_set(rng, 8, 3, max_period=12)
+            if not tasks:
+                continue
+            horizon = lcm_horizon(tasks, reps=1, cap=400)
+            res = scheduler(tasks, 3, horizon, on_miss="raise")
+            validate_schedule(res.trace, tasks, 3, horizon, periodic_lags=True)
+
+    def test_pf_three_tasks(self):
+        tasks = [PeriodicTask(2, 3) for _ in range(3)]
+        res = schedule_pf(tasks, 2, 30, on_miss="raise")
+        validate_schedule(res.trace, tasks, 2, 30, periodic_lags=True)
+
+    def test_pd_three_tasks(self):
+        tasks = [PeriodicTask(2, 3) for _ in range(3)]
+        res = schedule_pd(tasks, 2, 30, on_miss="raise")
+        validate_schedule(res.trace, tasks, 2, 30, periodic_lags=True)
+
+
+class TestERfair:
+    def test_never_misses(self):
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            tasks = make_feasible_set(rng, 8, 2, max_period=12)
+            if not tasks:
+                continue
+            horizon = lcm_horizon(tasks, reps=1, cap=400)
+            res = schedule_erfair(tasks, 2, horizon, on_miss="raise")
+            # ER relaxes the release side but never the deadline side.
+            validate_schedule(res.trace, tasks, 2, horizon,
+                              early_release=True, periodic_lags=True)
+
+    def test_work_conserving(self):
+        # One task of weight 2/4 alone: plain Pfair idles in the middle of
+        # each period; ERfair runs the whole job back to back.
+        t = PeriodicTask(2, 4)
+        res = schedule_erfair([t], 1, 40, trace=True)
+        assert is_work_conserving_run(res)
+        assert res.stats.miss_count == 0
+
+    def test_plain_pfair_not_work_conserving(self):
+        t = PeriodicTask(2, 4)
+        res = schedule_pd2([t], 1, 40, trace=True)
+        assert not is_work_conserving_run(res)
+
+    def test_early_release_improves_response(self):
+        """The first job completes earlier under ER-PD² than PD²."""
+        t = PeriodicTask(3, 9)
+        plain = schedule_pd2([t], 1, 18, trace=True)
+        er = schedule_erfair([t], 1, 18, trace=True)
+        finish_plain = plain.trace.slots_of(t)[2]
+        finish_er = er.trace.slots_of(t)[2]
+        assert finish_er < finish_plain
+        assert finish_er == 2  # slots 0,1,2 back-to-back
+
+
+class TestEPDFAblation:
+    # A feasible set (total weight exactly 4) on which EPDF misses but PD²
+    # does not — found by randomized search, kept as a deterministic
+    # witness that PD²'s tie-breaks are load-bearing.
+    WITNESS = [(3, 6), (4, 6), (4, 4), (1, 2), (3, 4), (7, 12)]
+
+    def test_epdf_misses_on_feasible_witness(self):
+        tasks = [PeriodicTask(e, p) for e, p in self.WITNESS]
+        assert weight_sum(t.weight for t in tasks) == 4
+        res = schedule_epdf(tasks, 4, 12)
+        assert res.stats.miss_count > 0
+
+    def test_pd2_schedules_the_witness(self):
+        tasks = [PeriodicTask(e, p) for e, p in self.WITNESS]
+        res = schedule_pd2(tasks, 4, 24, on_miss="raise")
+        validate_schedule(res.trace, tasks, 4, 24, periodic_lags=True)
+
+    def test_pf_and_pd_schedule_the_witness(self):
+        for fn in (schedule_pf, schedule_pd):
+            tasks = [PeriodicTask(e, p) for e, p in self.WITNESS]
+            res = fn(tasks, 4, 24, on_miss="raise")
+            assert res.stats.miss_count == 0
+
+    def test_epdf_fine_on_one_processor(self):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            tasks = make_feasible_set(rng, 4, 1, max_period=10)
+            if not tasks:
+                continue
+            horizon = lcm_horizon(tasks, reps=1, cap=300)
+            res = schedule_epdf(tasks, 1, horizon)
+            assert res.stats.miss_count == 0
+
+
+class TestMissHandling:
+    def test_on_miss_raise(self):
+        # Infeasible: total weight 3/2 on one processor.
+        tasks = [PeriodicTask(1, 2), PeriodicTask(1, 2), PeriodicTask(1, 2)]
+        with pytest.raises(DeadlineMissError):
+            PD2Scheduler(tasks, 1, on_miss="raise").run(20)
+
+    def test_on_miss_record_tracks_tardiness(self):
+        tasks = [PeriodicTask(1, 2), PeriodicTask(1, 2), PeriodicTask(1, 2)]
+        res = PD2Scheduler(tasks, 1).run(21)
+        assert res.stats.miss_count > 0
+        assert res.missed
+        late = [m for m in res.stats.misses if m.completed_at is not None]
+        assert all(m.tardiness >= 1 for m in late)

@@ -1,0 +1,142 @@
+"""Tests for supertasking (paper, Sec. 5.5 and Fig. 5)."""
+
+import pytest
+
+from repro.core.rational import Weight
+from repro.core.supertask import (
+    Supertask,
+    SupertaskSystem,
+    dispatch_components,
+    supertask_weight,
+)
+from repro.core.task import PeriodicTask
+
+
+def fig5_system(reweight: bool):
+    T = PeriodicTask(1, 5, name="T")
+    U = PeriodicTask(1, 45, name="U")
+    V = PeriodicTask(1, 2, name="V")
+    W = PeriodicTask(1, 3, name="W")
+    X = PeriodicTask(1, 3, name="X")
+    Y = PeriodicTask(2, 9, name="Y")
+    S = Supertask([T, U], name="S", reweight=reweight)
+    return [V, W, X, Y, S], S, T, U
+
+
+class TestSupertaskWeight:
+    def test_cumulative_weight_fig5(self):
+        T = PeriodicTask(1, 5)
+        U = PeriodicTask(1, 45)
+        assert supertask_weight([T, U]) == Weight(2, 9)
+
+    def test_reweighted_fig5(self):
+        """Holman–Anderson inflation: 2/9 + 1/min(5,45) = 19/45."""
+        T = PeriodicTask(1, 5)
+        U = PeriodicTask(1, 45)
+        assert supertask_weight([T, U], reweight=True) == Weight(19, 45)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            supertask_weight([])
+
+    def test_overweight_rejected(self):
+        with pytest.raises(ValueError):
+            supertask_weight([PeriodicTask(1, 2), PeriodicTask(2, 3)])
+
+    def test_supertask_is_pfair_task(self):
+        S = Supertask([PeriodicTask(1, 5), PeriodicTask(1, 45)])
+        assert (S.execution, S.period) == (2, 9)
+        assert S.components[0].name.startswith("T")
+
+
+class TestFig5Phenomenon:
+    def test_unweighted_supertask_misses_component_deadline(self):
+        """The paper's Fig. 5 failure: with wt(S) = 2/9 exactly, the
+        weight-1/5 component T misses a deadline (at 10 in the paper's
+        tie-break; under ours at another multiple — the phenomenon, not
+        the slot, is the claim)."""
+        tasks, S, T, U = fig5_system(reweight=False)
+        system = SupertaskSystem(tasks, 2)
+        result, dispatches = system.run(90)
+        assert result.stats.miss_count == 0  # the top level is fine
+        d = dispatches[S.task_id]
+        assert d.miss_count > 0
+        assert any(m.task.name == "T" for m in d.misses)
+
+    def test_reweighted_supertask_meets_all_deadlines(self):
+        tasks, S, T, U = fig5_system(reweight=True)
+        system = SupertaskSystem(tasks, 2)
+        result, dispatches = system.run(900)
+        assert result.stats.miss_count == 0
+        assert dispatches[S.task_id].miss_count == 0
+
+    def test_total_weight_still_feasible_after_reweight(self):
+        tasks, S, _, _ = fig5_system(reweight=True)
+        from repro.core.rational import weight_sum
+
+        total = weight_sum(t.weight for t in tasks)
+        assert total <= 2
+
+
+class TestDispatch:
+    def test_edf_order_within_grants(self):
+        """With both components pending, the earlier-deadline one runs."""
+        a = PeriodicTask(1, 4, name="a")   # d(T1) = 4
+        b = PeriodicTask(1, 10, name="b")  # d(T1) = 10
+        S = Supertask([a, b], name="S")
+        d = dispatch_components(S, [0, 1], horizon=12)
+        assert d.allocations[0].name == "a"
+        assert d.allocations[1].name == "b"
+
+    def test_unreleased_component_not_run(self):
+        a = PeriodicTask(1, 10, name="a")
+        S = Supertask([a], name="S")
+        # Grant slots before a's second subtask is released (r(T2) = 10).
+        d = dispatch_components(S, [0, 3, 4], horizon=10)
+        assert d.allocations[0].name == "a"
+        assert 3 not in d.allocations and 4 not in d.allocations
+        assert d.idle_quanta == 2
+
+    def test_never_run_component_counts_miss(self):
+        a = PeriodicTask(1, 5, name="a")
+        S = Supertask([a], name="S")
+        d = dispatch_components(S, [], horizon=10)
+        # Subtask deadlines 5 and 10 both expired unserved.
+        assert d.miss_count == 2
+        assert all(m.completed_at is None for m in d.misses)
+
+    def test_completed_counts(self):
+        a = PeriodicTask(1, 5, name="a")
+        b = PeriodicTask(1, 5, name="b")
+        S = Supertask([a, b], name="S")
+        d = dispatch_components(S, [0, 1, 5, 6], horizon=10)
+        assert d.completed[a.task_id] == 2
+        assert d.completed[b.task_id] == 2
+        assert d.miss_count == 0
+
+    def test_slots_of(self):
+        a = PeriodicTask(1, 5, name="a")
+        b = PeriodicTask(1, 5, name="b")
+        S = Supertask([a, b], name="S")
+        d = dispatch_components(S, [0, 1], horizon=5)
+        assert d.slots_of(a) == [0]
+        assert d.slots_of(b) == [1]
+
+
+class TestSupertaskSystem:
+    def test_system_without_supertasks_is_plain_pd2(self):
+        tasks = [PeriodicTask(2, 3) for _ in range(3)]
+        system = SupertaskSystem(tasks, 2)
+        result, dispatches = system.run(30)
+        assert result.stats.miss_count == 0
+        assert dispatches == {}
+
+    def test_multiple_supertasks(self):
+        S1 = Supertask([PeriodicTask(1, 4, name="c1")], name="S1", reweight=True)
+        S2 = Supertask([PeriodicTask(1, 6, name="c2")], name="S2", reweight=True)
+        other = PeriodicTask(1, 2, name="o")
+        system = SupertaskSystem([S1, S2, other], 2)
+        result, dispatches = system.run(120)
+        assert result.stats.miss_count == 0
+        assert dispatches[S1.task_id].miss_count == 0
+        assert dispatches[S2.task_id].miss_count == 0

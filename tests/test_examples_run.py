@@ -1,0 +1,28 @@
+"""Every example script runs cleanly end to end (guards against rot)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+SCRIPTS = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 9
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(EXAMPLES_DIR), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"

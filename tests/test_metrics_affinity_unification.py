@@ -1,0 +1,104 @@
+"""Tests for job response times, the affinity toggle, and the paper's
+observation that EDF-FF and plain Pfair are both special cases of
+supertasking (Sec. 5.5)."""
+
+import pytest
+
+from repro.core.erfair import ERPD2Scheduler
+from repro.core.pd2 import PD2Scheduler, schedule_pd2
+from repro.core.supertask import Supertask, SupertaskSystem
+from repro.core.task import PeriodicTask
+from repro.sim.metrics import job_response_times
+from repro.sim.quantum import QuantumSimulator
+
+
+class TestJobResponseTimes:
+    def test_solo_task_responses(self):
+        t = PeriodicTask(2, 5)
+        res = schedule_pd2([t], 1, 25, trace=True)
+        rts = job_response_times(res.trace, t)
+        assert [j for j, _ in rts] == [1, 2, 3, 4, 5]
+        # Plain Pfair: the second quantum waits for its window, finishing
+        # at d-ish; responses are bounded by the period.
+        assert all(1 <= r <= 5 for _, r in rts)
+
+    def test_erfair_improves_responses(self):
+        t = PeriodicTask(3, 9)
+        plain = PD2Scheduler([t], 1, trace=True).run(27)
+        er = ERPD2Scheduler([t], 1, trace=True).run(27)
+        r_plain = [r for _, r in job_response_times(plain.trace, t)]
+        r_er = [r for _, r in job_response_times(er.trace, t)]
+        assert all(e <= p for e, p in zip(r_er, r_plain))
+        assert r_er[0] == 3  # back-to-back execution
+
+    def test_incomplete_job_not_reported(self):
+        t = PeriodicTask(3, 6)
+        res = schedule_pd2([t], 1, 4, trace=True)  # job 1 unfinished? e=3
+        rts = job_response_times(res.trace, t)
+        # Job 1 completes by slot 3 under ER? plain: subtask windows
+        # [0,2),[2,4),[4,6): at horizon 4 only 2 subtasks ran.
+        assert rts == []
+
+
+class TestAffinityToggle:
+    def _run(self, affinity):
+        tasks = [PeriodicTask(2, 3) for _ in range(3)]
+        sim = QuantumSimulator(tasks, 2, trace=True,
+                               preserve_affinity=affinity)
+        return sim.run(60)
+
+    def test_same_schedule_different_placement(self):
+        on = self._run(True)
+        off = self._run(False)
+        # Identical who-runs-when...
+        for slot in range(60):
+            names_on = sorted(a.task.name[-1] for a in on.trace.at(slot))
+            names_off = sorted(a.task.name[-1] for a in off.trace.at(slot))
+            # Task names differ between runs (fresh ids); compare counts.
+            assert len(names_on) == len(names_off)
+        assert on.stats.total_preemptions == off.stats.total_preemptions
+        # ...but the heuristic saves migrations.
+        assert on.stats.total_migrations < off.stats.total_migrations
+
+    def test_contiguous_quanta_still_contiguous_without_affinity(self):
+        """Without the heuristic, back-to-back quanta may migrate."""
+        off = self._run(False)
+        migrated_contiguous = 0
+        for tid, allocs in [(t.task_id, off.trace.of_task(t))
+                            for t in off.tasks]:
+            for a, b in zip(allocs, allocs[1:]):
+                if b.slot == a.slot + 1 and b.processor != a.processor:
+                    migrated_contiguous += 1
+        assert migrated_contiguous > 0
+
+
+class TestSupertaskingUnifiesBothApproaches:
+    """Sec. 5.5: "both EDF-FF and ordinary Pfair scheduling can be seen as
+    special cases of the supertasking approach."""
+
+    def test_no_supertasks_is_plain_pfair(self):
+        tasks = [PeriodicTask(2, 3) for _ in range(3)]
+        system = SupertaskSystem(tasks, 2)
+        res, dispatches = system.run(30)
+        assert dispatches == {}
+        assert res.stats.miss_count == 0
+
+    def test_one_supertask_per_processor_is_partitioned_edf(self):
+        """M full-weight supertasks, one per processor, each running its
+        bin's tasks under internal EDF = EDF partitioning."""
+        bin0 = [PeriodicTask(1, 2, name="a0"), PeriodicTask(2, 4, name="a1")]
+        bin1 = [PeriodicTask(1, 3, name="b0"), PeriodicTask(2, 3, name="b1")]
+        s0 = Supertask(bin0, name="CPU0")
+        s1 = Supertask(bin1, name="CPU1")
+        # Each bin's utilization is exactly 1, so each supertask has
+        # weight 1: it owns a processor outright, and internal EDF *is*
+        # uniprocessor EDF on that bin.
+        assert s0.weight.is_unit() and s1.weight.is_unit()
+        system = SupertaskSystem([s0, s1], 2)
+        res, dispatches = system.run(120)
+        assert res.stats.miss_count == 0
+        assert dispatches[s0.task_id].miss_count == 0
+        assert dispatches[s1.task_id].miss_count == 0
+        # Every slot of each supertask is used (bins are fully loaded).
+        assert dispatches[s0.task_id].idle_quanta == 0
+        assert dispatches[s1.task_id].idle_quanta == 0

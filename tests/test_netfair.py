@@ -1,0 +1,224 @@
+"""Tests for the fair-queueing substrate (GPS, WFQ, WF²Q, Virtual Clock).
+
+The classic results verified here:
+
+* GPS serves backlogged flows in exact weight proportion;
+* WFQ departs every packet no later than GPS + one max packet (Parekh &
+  Gallager's PGPS bound);
+* WF²Q never runs more than one packet ahead of GPS (worst-case fair),
+  while plain WFQ can burst far ahead (Bennett & Zhang's example shape);
+* Virtual Clock guarantees reserved throughput but punishes flows for
+  having used idle capacity — the history-sensitivity GPS-fairness (and
+  Pfairness) excludes.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netfair import (
+    Flow,
+    Packet,
+    simulate_gps,
+    simulate_virtual_clock,
+    simulate_wfq,
+    virtual_time_at,
+)
+
+
+def backlogged_unit_packets(name, count, length=1, start=0):
+    return [Packet(name, start, length) for _ in range(count)]
+
+
+class TestGPS:
+    def test_single_flow_full_rate(self):
+        flows = [Flow("a", 1)]
+        pkts = [Packet("a", 0, 3), Packet("a", 0, 2)]
+        g = simulate_gps(flows, pkts)
+        assert g.finish_of("a", 1) == 3
+        assert g.finish_of("a", 2) == 5
+
+    def test_weighted_split(self):
+        flows = [Flow("a", 3, 4), Flow("b", 1, 4)]
+        pkts = [Packet("a", 0, 3), Packet("b", 0, 1)]
+        g = simulate_gps(flows, pkts)
+        # Both finish at 4: a served at 3/4, b at 1/4, simultaneously.
+        assert g.finish_of("a", 1) == 4
+        assert g.finish_of("b", 1) == 4
+
+    def test_rate_changes_when_flow_empties(self):
+        flows = [Flow("a", 1, 2), Flow("b", 1, 2)]
+        pkts = [Packet("a", 0, 1), Packet("b", 0, 4)]
+        g = simulate_gps(flows, pkts)
+        # a finishes at 2 (rate 1/2); b gets 1 unit by t=2, then full rate:
+        # remaining 3 units done at t=5.
+        assert g.finish_of("a", 1) == 2
+        assert g.finish_of("b", 1) == 5
+
+    def test_idle_gap_resets_virtual_time(self):
+        flows = [Flow("a", 1)]
+        pkts = [Packet("a", 0, 1), Packet("a", 10, 1)]
+        g = simulate_gps(flows, pkts)
+        assert g.finish_of("a", 1) == 1
+        assert g.finish_of("a", 2) == 11
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(KeyError):
+            simulate_gps([Flow("a", 1)], [Packet("ghost", 0, 1)])
+
+    def test_packet_validation(self):
+        with pytest.raises(ValueError):
+            Packet("a", -1, 1)
+        with pytest.raises(ValueError):
+            Packet("a", 0, 0)
+        with pytest.raises(ValueError):
+            Flow("a", 0)
+
+    def test_virtual_time_interpolation(self):
+        flows = [Flow("a", 1, 2), Flow("b", 1, 2)]
+        pkts = backlogged_unit_packets("a", 2) + backlogged_unit_packets("b", 2)
+        g = simulate_gps(flows, pkts)
+        # Both backlogged: dV/dt = 1/(1/2+1/2) = 1.
+        assert virtual_time_at(g, Fraction(1)) == 1
+        assert virtual_time_at(g, Fraction(3, 2)) == Fraction(3, 2)
+
+
+class TestWFQBound:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 4),
+                              st.integers(0, 2)),
+                    min_size=1, max_size=15))
+    def test_prop_pgps_delay_bound(self, raw):
+        """D_WFQ <= D_GPS + L_max for every packet (link rate 1)."""
+        flows = [Flow("f0", 1, 2), Flow("f1", 1, 3), Flow("f2", 1, 6)]
+        pkts = [Packet(f"f{fi}", a, ln) for a, ln, fi in raw]
+        l_max = max(p.length for p in pkts)
+        res = simulate_wfq(flows, pkts)
+        for key, dep in res.departure.items():
+            assert dep <= res.gps.finish[key] + l_max
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 4),
+                              st.integers(0, 2)),
+                    min_size=1, max_size=15))
+    def test_prop_wf2q_also_meets_the_bound(self, raw):
+        flows = [Flow("f0", 1, 2), Flow("f1", 1, 3), Flow("f2", 1, 6)]
+        pkts = [Packet(f"f{fi}", a, ln) for a, ln, fi in raw]
+        l_max = max(p.length for p in pkts)
+        res = simulate_wfq(flows, pkts, worst_case_fair=True)
+        for key, dep in res.departure.items():
+            assert dep <= res.gps.finish[key] + l_max
+
+    def test_work_conserving(self):
+        flows = [Flow("a", 1, 2), Flow("b", 1, 2)]
+        pkts = [Packet("a", 0, 2), Packet("b", 1, 2), Packet("a", 6, 1)]
+        res = simulate_wfq(flows, pkts)
+        # Busy [0,5) then [6,7): departures at 2, 4... monotone, no gaps
+        # inside busy periods.
+        deps = sorted(res.departure.values())
+        assert deps == [2, 4, 7] or deps == [Fraction(2), Fraction(4), Fraction(7)]
+
+
+class TestWF2QWorstCaseFairness:
+    def _burst_scenario(self):
+        """Bennett & Zhang's shape: one high-weight flow with a queue of
+        packets, many low-weight flows each with one packet."""
+        flows = [Flow("big", 1, 2)] + [Flow(f"s{i}", 1, 20) for i in range(10)]
+        pkts = backlogged_unit_packets("big", 10)
+        pkts += [Packet(f"s{i}", 0, 1) for i in range(10)]
+        return flows, pkts
+
+    @staticmethod
+    def _max_service_lead(res, flows, flow_name):
+        """Max over departure instants of (packetised − GPS) cumulative
+        service for one flow — the quantity WF²Q bounds by one packet."""
+        served = Fraction(0)
+        lead = Fraction(0)
+        for key in res.order:
+            dep = res.departure[key]
+            if key[0] == flow_name:
+                _, length = res.gps.packets[key]
+                served += length
+            lead = max(lead, served - res.gps.service(flow_name, dep))
+        return lead
+
+    def test_wfq_bursts_ahead_of_gps(self):
+        """Plain WFQ lets the heavy flow run several packets ahead of its
+        fluid service."""
+        flows, pkts = self._burst_scenario()
+        res = simulate_wfq(flows, pkts)
+        lead = self._max_service_lead(res, flows, "big")
+        assert lead > 2  # more than two unit packets ahead
+
+    def test_wf2q_at_most_one_packet_ahead(self):
+        """WF²Q's worst-case fairness: no flow's cumulative service leads
+        GPS by more than one maximum packet."""
+        flows, pkts = self._burst_scenario()
+        res = simulate_wfq(flows, pkts, worst_case_fair=True)
+        l_max = max(p.length for p in pkts)
+        for f in flows:
+            lead = self._max_service_lead(res, flows, f.name)
+            assert lead <= l_max, f"{f.name} led GPS by {lead}"
+
+    def test_wf2q_changes_the_order(self):
+        flows, pkts = self._burst_scenario()
+        wfq = simulate_wfq(flows, pkts)
+        wf2q = simulate_wfq(flows, pkts, worst_case_fair=True)
+        assert wfq.order != wf2q.order
+
+
+class TestVirtualClock:
+    def test_reserved_throughput_when_backlogged(self):
+        flows = [Flow("a", 1, 2), Flow("b", 1, 2)]
+        pkts = backlogged_unit_packets("a", 10) + backlogged_unit_packets("b", 10)
+        res = simulate_virtual_clock(flows, pkts)
+        # Strict alternation: each flow gets its half continuously.
+        a_by_10 = sum(1 for (f, i), d in res.departure.items()
+                      if f == "a" and d <= 10)
+        assert a_by_10 == 5
+
+    def test_punishment_anomaly(self):
+        """A flow that used idle capacity gets starved when the other flow
+        returns; WFQ does not punish it."""
+        flows = [Flow("a", 1, 2), Flow("b", 1, 2)]
+        # a sends alone during [0, 10) (10 packets); at t=10 b bursts 10
+        # packets, and a also keeps sending.
+        pkts = [Packet("a", t, 1) for t in range(10)]
+        pkts += [Packet("b", 10, 1) for _ in range(10)]
+        pkts += [Packet("a", 10 + t, 1) for t in range(5)]
+        vc = simulate_virtual_clock(flows, pkts)
+        wfq = simulate_wfq(flows, pkts)
+        # Under VC, a's post-burst packets carry stamps inflated by its
+        # earlier solo service, so b's whole burst beats them.
+        vc_a_after = [d for (f, i), d in vc.departure.items()
+                      if f == "a" and i > 10]
+        wfq_a_after = [d for (f, i), d in wfq.departure.items()
+                       if f == "a" and i > 10]
+        assert min(vc_a_after) > min(wfq_a_after), \
+            "VC should delay the previously-greedy flow more than WFQ"
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(KeyError):
+            simulate_virtual_clock([Flow("a", 1)], [Packet("x", 0, 1)])
+
+
+class TestPfairAnalogy:
+    def test_gps_is_to_wfq_as_fluid_is_to_pd2(self):
+        """The quantitative analogy of Sec. 5.3: both packetised-fair and
+        Pfair systems keep the deviation from their fluid reference within
+        one 'unit' (packet / quantum)."""
+        # Networking side: WF2Q deviation within one (unit) packet.
+        flows = [Flow("a", 2, 3), Flow("b", 1, 3)]
+        pkts = backlogged_unit_packets("a", 8) + backlogged_unit_packets("b", 4)
+        res = simulate_wfq(flows, pkts, worst_case_fair=True)
+        for key, dep in res.departure.items():
+            assert abs(dep - res.gps.finish[key]) <= 1 + 1  # <= L_max + L/w slack
+        # CPU side: PD2 lags within one quantum.
+        from repro.core.task import PeriodicTask
+        from repro.sim.quantum import simulate_pfair
+        from repro.sim.validate import check_pfair_lags
+
+        tasks = [PeriodicTask(2, 3), PeriodicTask(1, 3)]
+        r = simulate_pfair(tasks, 1, 30, trace=True)
+        check_pfair_lags(r.trace, tasks, 30)

@@ -1,0 +1,168 @@
+"""Tests for the overhead model, Eq. (3) inflation, and the Fig. 2 harness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.overheads.inflation import (
+    pd2_inflate,
+    pd2_inflate_set,
+    pd2_total_weight,
+)
+from repro.overheads.measure import measure_edf_overhead, measure_pd2_overhead
+from repro.overheads.model import (
+    OverheadModel,
+    PAPER_PD2_TABLES,
+    interp_table,
+)
+from repro.workload.spec import TaskSpec
+
+
+class TestInterpTable:
+    def test_interpolation(self):
+        f = interp_table([0, 10], [0.0, 100.0])
+        assert f(5) == 50.0
+        assert f(2.5) == 25.0
+
+    def test_flat_extrapolation(self):
+        f = interp_table([1, 2], [10.0, 20.0])
+        assert f(0) == 10.0
+        assert f(99) == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interp_table([1], [1.0])
+        with pytest.raises(ValueError):
+            interp_table([2, 1], [1.0, 2.0])
+
+
+class TestOverheadModel:
+    def test_paper_defaults(self):
+        m = OverheadModel()
+        assert m.context_switch == 5
+        assert m.quantum == 1000
+        # EDF fixed inflation 2(S + C) with S(50) ~ 1 µs.
+        assert 10 <= m.edf_fixed_inflation(50) <= 14
+
+    def test_pd2_cost_grows_with_n_and_m(self):
+        m = OverheadModel()
+        assert m.pd2_sched_cost(1000, 1) > m.pd2_sched_cost(15, 1)
+        assert m.pd2_sched_cost(100, 16) > m.pd2_sched_cost(100, 1)
+
+    def test_pd2_cost_interpolates_m(self):
+        m = OverheadModel()
+        mid = m.pd2_sched_cost(100, 3)
+        assert m.pd2_sched_cost(100, 2) < mid < m.pd2_sched_cost(100, 4)
+
+    def test_m_clamped_to_table(self):
+        m = OverheadModel()
+        assert m.pd2_sched_cost(100, 32) == m.pd2_sched_cost(100, 16)
+
+    def test_zero_model(self):
+        z = OverheadModel.zero()
+        assert z.edf_fixed_inflation(500) == 0
+        assert z.pd2_sched_cost(500, 8) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverheadModel(context_switch=-1)
+        with pytest.raises(ValueError):
+            OverheadModel(quantum=0)
+
+
+class TestPD2Inflation:
+    def test_zero_overheads_pure_quantisation(self):
+        """With zero overheads, inflation is exactly ceil-to-quantum."""
+        z = OverheadModel.zero()
+        s = TaskSpec(1500, 10_000)
+        inf = pd2_inflate(s, z, 10, 2)
+        assert inf.quanta == 2          # ceil(1500/1000)
+        assert inf.period_quanta == 10
+        assert inf.weight == Fraction(1, 5)
+        assert inf.feasible
+
+    def test_known_value_by_hand(self):
+        """Constant-cost model, checked against Eq. (3) by hand.
+
+        C=5, S=10, D=35, q=1000; e=2500, p=10000 (P=10 quanta).
+        E0 = 3: e' = 2500 + 3*10 + 5 + min(2,7)*(5+35) = 2615 -> E = 3.
+        Fixed point at E = 3 after one extra confirmation pass.
+        """
+        m = OverheadModel(context_switch=5, quantum=1000,
+                          sched_edf=lambda n: 10.0,
+                          sched_pd2=lambda n, mm: 10.0)
+        s = TaskSpec(2500, 10_000, cache_delay=35)
+        inf = pd2_inflate(s, m, 50, 4)
+        assert inf.inflated_execution == 2615
+        assert inf.quanta == 3
+        assert inf.weight == Fraction(3, 10)
+
+    def test_growth_across_quantum_boundary(self):
+        """Inflation that pushes e' across a quantum boundary raises E and
+        therefore the charged costs — the fixed point iterates."""
+        m = OverheadModel(context_switch=5, quantum=1000,
+                          sched_edf=lambda n: 10.0,
+                          sched_pd2=lambda n, mm: 200.0)
+        s = TaskSpec(2900, 10_000, cache_delay=50)
+        inf = pd2_inflate(s, m, 50, 4)
+        # E0=3: 2900 + 600 + 5 + 2*55 = 3615 -> E=4;
+        # E=4: 2900 + 800 + 5 + 3*55 = 3870 -> E=4 fixed point.
+        assert inf.quanta == 4
+        assert inf.iterations >= 2
+
+    def test_convergence_within_paper_bound(self):
+        """The paper observed convergence within ~5 iterations."""
+        m = OverheadModel()
+        from repro.workload.generator import TaskSetGenerator
+
+        gen = TaskSetGenerator(3)
+        for specs in (gen.generate(50, 10.0), gen.generate(100, 20.0)):
+            for inf in pd2_inflate_set(specs, m, 8):
+                assert inf.iterations <= 6
+
+    def test_infeasible_when_inflation_exceeds_period(self):
+        m = OverheadModel(context_switch=5, quantum=1000,
+                          sched_edf=lambda n: 10.0,
+                          sched_pd2=lambda n, mm: 10.0)
+        s = TaskSpec(50_000, 50_000)  # u = 1: any inflation overflows
+        inf = pd2_inflate(s, m, 10, 2)
+        assert not inf.feasible
+
+    def test_non_quantum_period_rejected(self):
+        with pytest.raises(ValueError):
+            pd2_inflate(TaskSpec(10, 1500), OverheadModel(), 5, 1)
+
+    def test_total_weight(self):
+        z = OverheadModel.zero()
+        specs = [TaskSpec(1000, 2000), TaskSpec(1000, 4000)]
+        infs = pd2_inflate_set(specs, z, 2)
+        assert pd2_total_weight(infs) == Fraction(3, 4)
+
+    def test_monotone_in_processors(self):
+        """More processors -> higher S_PD2 -> no smaller inflated weight."""
+        m = OverheadModel()
+        s = TaskSpec(10_000, 100_000, cache_delay=50)
+        w1 = pd2_inflate(s, m, 100, 1).weight
+        w16 = pd2_inflate(s, m, 100, 16).weight
+        assert w16 >= w1
+
+
+class TestMeasurement:
+    def test_pd2_sample_positive(self):
+        sample = measure_pd2_overhead(20, 2, task_sets=1, slots=200, seed=0)
+        assert sample.mean_ns > 0
+        assert sample.invocations == 200
+        assert sample.algorithm == "PD2"
+
+    def test_edf_sample_positive(self):
+        sample = measure_edf_overhead(20, task_sets=1, horizon=500_000, seed=0)
+        assert sample.mean_ns > 0
+        assert sample.invocations > 0
+        assert sample.algorithm == "EDF"
+
+    def test_pd2_cost_grows_with_processors(self):
+        """The Fig. 2(b) effect: one sequential scheduler serving more
+        processors costs more per slot."""
+        lo = measure_pd2_overhead(100, 1, task_sets=2, slots=300, seed=1)
+        hi = measure_pd2_overhead(100, 8, task_sets=2, slots=300, seed=1)
+        assert hi.mean_ns > lo.mean_ns

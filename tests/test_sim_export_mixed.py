@@ -1,0 +1,107 @@
+"""Tests for trace/result export and mixed ERfair + supertask RM options."""
+
+import json
+
+import pytest
+
+from repro.core.pd2 import PD2Scheduler, schedule_pd2
+from repro.core.supertask import Supertask, dispatch_components
+from repro.core.task import PeriodicTask
+from repro.sim.export import (
+    result_to_dict,
+    result_to_json,
+    trace_to_csv,
+    trace_to_rows,
+)
+
+
+class TestExport:
+    def _run(self):
+        tasks = [PeriodicTask(1, 2, name="a"), PeriodicTask(1, 3, name="b")]
+        return schedule_pd2(tasks, 1, 12, trace=True), tasks
+
+    def test_trace_rows(self):
+        res, tasks = self._run()
+        rows = trace_to_rows(res.trace)
+        assert rows[0]["slot"] == 0
+        assert {r["task"] for r in rows} == {"a", "b"}
+        assert all(set(r) == {"slot", "processor", "task", "subtask"}
+                   for r in rows)
+        assert [r["slot"] for r in rows] == sorted(r["slot"] for r in rows)
+
+    def test_trace_csv(self):
+        res, _ = self._run()
+        text = trace_to_csv(res.trace)
+        lines = text.strip().splitlines()
+        assert lines[0] == "slot,processor,task,subtask"
+        assert len(lines) == 1 + len(res.trace)
+
+    def test_result_dict(self):
+        res, tasks = self._run()
+        d = result_to_dict(res)
+        assert d["horizon"] == 12 and d["processors"] == 1
+        assert d["policy"] == "PD2"
+        a = next(t for t in d["tasks"] if t["name"] == "a")
+        assert a["weight"] == "1/2"
+        assert a["quanta"] == 6
+        assert d["misses"] == []
+        assert len(d["trace"]) == len(res.trace)
+
+    def test_result_json_round_trip(self):
+        res, _ = self._run()
+        parsed = json.loads(result_to_json(res))
+        assert parsed["busy_quanta"] == res.stats.busy_quanta
+
+    def test_no_trace_key_without_trace(self):
+        res = schedule_pd2([PeriodicTask(1, 2)], 1, 6, trace=False)
+        assert "trace" not in result_to_dict(res)
+
+    def test_misses_exported(self):
+        res = schedule_pd2([PeriodicTask(1, 2) for _ in range(3)], 1, 8,
+                           trace=False)
+        d = result_to_dict(res)
+        assert d["misses"], "overloaded run must export its misses"
+        m = d["misses"][0]
+        assert set(m) == {"task", "subtask", "deadline", "completed_at"}
+
+
+class TestMixedERfair:
+    def test_per_task_flag_releases_early(self):
+        er = PeriodicTask(2, 4, early_release=True, name="er")
+        plain = PeriodicTask(2, 4, name="plain")
+        res = PD2Scheduler([er, plain], 2, trace=True).run(8)
+        # ER task runs its job back to back; the plain one waits for r(T2)=2.
+        assert res.trace.slots_of(er)[:2] == [0, 1]
+        assert res.trace.slots_of(plain)[:2] == [0, 2]
+
+    def test_mixed_system_no_misses_at_full_load(self):
+        tasks = [PeriodicTask(2, 3, early_release=True),
+                 PeriodicTask(2, 3), PeriodicTask(2, 3, early_release=True)]
+        res = PD2Scheduler(tasks, 2, on_miss="raise").run(60)
+        assert res.stats.miss_count == 0
+
+
+class TestSupertaskInternalRM:
+    def test_rm_prefers_short_period(self):
+        fast = PeriodicTask(1, 4, name="fast")
+        slow = PeriodicTask(1, 12, name="slow")
+        S = Supertask([slow, fast], name="S")
+        d = dispatch_components(S, [0, 1], horizon=12, policy="rm")
+        assert d.allocations[0].name == "fast"
+        assert d.allocations[1].name == "slow"
+
+    def test_edf_vs_rm_can_differ(self):
+        # EDF looks at absolute subtask deadlines, RM at periods: give the
+        # long-period task the earlier pending deadline.
+        a = PeriodicTask(3, 12, name="a")   # d(T1) = 4
+        b = PeriodicTask(1, 6, name="b")    # d(T1) = 6
+        S = Supertask([a, b], name="S")
+        d_edf = dispatch_components(S, [0], horizon=12, policy="edf")
+        d_rm = dispatch_components(S, [0], horizon=12, policy="rm")
+        assert d_edf.allocations[0].name == "a"
+        assert d_rm.allocations[0].name == "b"
+
+    def test_unknown_policy(self):
+        S = Supertask([PeriodicTask(1, 4)], name="S")
+        with pytest.raises(ValueError):
+            dispatch_components(S, [0], horizon=4, policy="fifo")

@@ -1,0 +1,151 @@
+"""Tests for the slot-synchronous multiprocessor simulator."""
+
+import numpy as np
+import pytest
+
+from conftest import make_feasible_set
+from repro.core.priority import PD2Priority
+from repro.core.task import IntraSporadicTask, PeriodicTask, SporadicTask
+from repro.sim.quantum import QuantumSimulator, simulate_pfair
+from repro.sim.validate import check_structure, validate_schedule
+
+
+class TestBasics:
+    def test_validation_of_arguments(self):
+        with pytest.raises(ValueError):
+            QuantumSimulator([], 0)
+        with pytest.raises(ValueError):
+            QuantumSimulator([], 1, on_miss="explode")
+        with pytest.raises(ValueError):
+            QuantumSimulator([], 1).run(-1)
+
+    def test_empty_system_idles(self):
+        res = simulate_pfair([], 2, 10)
+        assert res.stats.busy_quanta == 0
+        assert res.stats.idle_quanta == 20
+
+    def test_single_task_allocation_count(self):
+        t = PeriodicTask(3, 5)
+        res = simulate_pfair([t], 1, 50, trace=True)
+        assert res.stats.stats_for(t).quanta == 30
+        assert res.stats.miss_count == 0
+
+    def test_no_task_on_two_processors_per_slot(self):
+        tasks = [PeriodicTask(2, 3) for _ in range(3)]
+        res = simulate_pfair(tasks, 2, 60, trace=True)
+        check_structure(res.trace, 2, 60)
+
+    def test_default_policy_is_pd2(self):
+        sim = QuantumSimulator([], 1)
+        assert isinstance(sim.policy, PD2Priority)
+        assert sim.run(0).policy_name == "PD2"
+
+
+class TestAffinityAndPreemptions:
+    def test_contiguous_quanta_same_processor(self):
+        """A job scheduled in consecutive slots must not migrate."""
+        t = PeriodicTask(4, 5)
+        res = simulate_pfair([t], 2, 50, trace=True)
+        allocs = res.trace.of_task(t)
+        for a, b in zip(allocs, allocs[1:]):
+            if b.slot == a.slot + 1:
+                assert b.processor == a.processor
+
+    def test_paper_preemption_bound(self):
+        """Per job: at most min(E-1, P-E) preemptions (Sec. 4)."""
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            tasks = make_feasible_set(rng, 6, 2, max_period=12)
+            if not tasks:
+                continue
+            res = simulate_pfair(tasks, 2, 240, trace=True)
+            for t in tasks:
+                stats = res.stats.stats_for(t)
+                bound = min(t.execution - 1, t.period - t.execution)
+                for job, count in stats.job_preemptions.items():
+                    assert count <= bound, (
+                        f"{t.execution}/{t.period} job {job}: "
+                        f"{count} preemptions > bound {bound}"
+                    )
+
+    def test_weight_one_task_never_preempted_nor_migrated(self):
+        t = PeriodicTask(1, 1)
+        other = PeriodicTask(1, 2)
+        res = simulate_pfair([t, other], 2, 40, trace=True)
+        assert res.stats.stats_for(t).preemptions == 0
+        assert res.stats.stats_for(t).migrations == 0
+
+    def test_e5_p6_single_preemption_per_job(self):
+        """The paper's example: e=5, p=6 has only one idle slot per period,
+        so each job suffers at most one preemption."""
+        t = PeriodicTask(5, 6)
+        res = simulate_pfair([t], 1, 60, trace=True)
+        for job, count in res.stats.stats_for(t).job_preemptions.items():
+            assert count <= 1
+
+
+class TestArrivalsAndDynamics:
+    def test_sporadic_arrivals_via_callbacks(self):
+        t = SporadicTask(1, 5, job_releases=[0])
+        arrivals = [(7, lambda: t.release_job(7)),
+                    (20, lambda: t.release_job(20))]
+        res = simulate_pfair([t], 1, 30, arrivals=arrivals, trace=True)
+        assert res.stats.miss_count == 0
+        assert res.stats.stats_for(t).quanta == 3
+
+    def test_is_arrival_feed(self):
+        t = IntraSporadicTask(1, 3)
+        arrivals = [(0, lambda: t.arrive(0)), (5, lambda: t.arrive(2))]
+        res = simulate_pfair([t], 1, 12, arrivals=arrivals, trace=True)
+        assert res.stats.stats_for(t).quanta == 2
+        assert res.stats.miss_count == 0
+
+    def test_add_task_mid_run(self):
+        sim = QuantumSimulator([PeriodicTask(1, 2, name="a")], 1)
+        for now in range(4):
+            sim.step(now)
+        late = PeriodicTask(1, 4, phase=4, name="late")
+        sim.add_task(late, 4)
+        for now in range(4, 24):
+            sim.step(now)
+        res = sim.finalize(24)
+        assert res.stats.miss_count == 0
+        assert res.stats.stats_for(late).quanta == 5
+
+    def test_capacity_fn_reduces_parallelism(self):
+        tasks = [PeriodicTask(1, 2) for _ in range(4)]  # U = 2
+        res = simulate_pfair(tasks, 2, 40, capacity_fn=lambda t: 1)
+        # Half the demand cannot be served.
+        assert res.stats.busy_quanta == 40
+        assert res.stats.miss_count > 0
+
+
+class TestMissAccounting:
+    def test_unfinished_subtasks_counted_at_horizon(self):
+        tasks = [PeriodicTask(1, 2) for _ in range(3)]  # U = 1.5 on 1 CPU
+        res = simulate_pfair(tasks, 1, 10)
+        never_ran = [m for m in res.stats.misses if m.completed_at is None]
+        assert never_ran, "expected unfinished subtasks at the horizon"
+
+    def test_future_deadlines_not_counted(self):
+        t = PeriodicTask(1, 10)
+        res = simulate_pfair([t], 1, 5)  # d(T1) = 10 > horizon
+        assert res.stats.miss_count == 0
+
+
+class TestStatsBookkeeping:
+    def test_busy_plus_idle_equals_capacity(self):
+        tasks = [PeriodicTask(1, 2), PeriodicTask(1, 3)]
+        res = simulate_pfair(tasks, 2, 30)
+        assert res.stats.busy_quanta + res.stats.idle_quanta == 60
+
+    def test_utilization(self):
+        t = PeriodicTask(1, 2)
+        res = simulate_pfair([t], 1, 40)
+        assert res.stats.utilization(1) == pytest.approx(0.5)
+
+    def test_last_scheduled_index_tracked(self):
+        t = PeriodicTask(2, 4)
+        sim = QuantumSimulator([t], 1)
+        sim.run(8)
+        assert sim.last_scheduled_index[t.task_id] == 4

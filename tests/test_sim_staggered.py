@@ -1,0 +1,66 @@
+"""Tests for the staggered-quanta simulator."""
+
+import pytest
+
+from repro.core.task import PeriodicTask
+from repro.sim.staggered import StaggeredSimulator, simulate_staggered
+
+
+def full_load_set():
+    return [PeriodicTask(e, p) for e, p in
+            [(1, 1), (1, 2), (1, 4), (1, 8), (2, 4), (5, 8)]]  # weight 3
+
+
+class TestValidation:
+    def test_arguments(self):
+        with pytest.raises(ValueError):
+            StaggeredSimulator([], 0, 10)
+        with pytest.raises(ValueError):
+            StaggeredSimulator([], 1, 0)
+        with pytest.raises(ValueError):
+            StaggeredSimulator([], 2, 10, offsets=[0])
+        with pytest.raises(ValueError):
+            StaggeredSimulator([], 2, 10, offsets=[0, 10])
+
+    def test_default_even_stagger(self):
+        sim = StaggeredSimulator([], 4, 12)
+        assert sim.offsets == (0, 3, 6, 9)
+
+
+class TestAlignedDegeneracy:
+    def test_zero_offsets_schedule_feasible_sets(self):
+        tasks = [PeriodicTask(2, 3) for _ in range(3)]
+        res = simulate_staggered(tasks, 2, 12, 12 * 30, offsets=[0, 0])
+        assert res.miss_count == 0
+
+    def test_single_processor_stagger_is_trivial(self):
+        t = PeriodicTask(1, 2)
+        res = simulate_staggered([t], 1, 10, 200)
+        assert res.miss_count == 0
+        assert res.completions >= 9
+
+
+class TestStaggerEffects:
+    def test_full_load_misses_with_subquantum_tardiness(self):
+        """Staggering a fully loaded system misses, but never by a whole
+        quantum: the displacement is at most (M-1)/M of a slot."""
+        res = simulate_staggered(full_load_set(), 3, 12, 8 * 12 * 10)
+        assert res.miss_count > 0
+        assert 0 < res.max_tardiness_ticks < 12
+        # The even 3-way stagger displaces by at most 2/3 of a quantum.
+        assert res.max_tardiness_ticks <= 8
+
+    def test_slack_absorbs_the_stagger(self):
+        """Dropping the weight-1 task leaves one slot of slack per slot
+        group; the staggered system stops missing."""
+        tasks = [PeriodicTask(e, p) for e, p in
+                 [(1, 2), (1, 4), (1, 8), (2, 4), (5, 8)]]
+        res = simulate_staggered(tasks, 3, 12, 8 * 12 * 10)
+        assert res.miss_count == 0
+
+    def test_custom_offsets(self):
+        res = simulate_staggered(full_load_set(), 3, 12, 480,
+                                 offsets=[0, 1, 2])
+        # A 1-2 tick stagger displaces less than the even 4-8 tick one.
+        even = simulate_staggered(full_load_set(), 3, 12, 480)
+        assert res.max_tardiness_ticks <= even.max_tardiness_ticks

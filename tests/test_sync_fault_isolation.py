@@ -1,0 +1,184 @@
+"""Tests for the Sec.-5 benefit substrates: locking, lock-free bounds,
+fault tolerance, overload reweighting, and temporal isolation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.isolation import edf_overrun_experiment, pfair_isolation_experiment
+from repro.core.rational import Weight, weight_sum
+from repro.core.task import PeriodicTask
+from repro.fault.failures import FailureEvent, pd2_with_failures, plan_reweighting
+from repro.sync.lockfree import pfair_retry_bound, simulate_retry_loop
+from repro.sync.locks import (
+    CriticalSection,
+    QuantumLockManager,
+    max_blocking,
+    mpcp_remote_blocking,
+)
+
+
+class TestQuantumLocks:
+    def test_grant_within_quantum(self):
+        mgr = QuantumLockManager(quantum=1000)
+        assert mgr.request("a", CriticalSection("r", 100), offset=0)
+        assert mgr.request("a", CriticalSection("r", 100), offset=900)
+        assert len(mgr.granted) == 2
+
+    def test_defer_across_boundary(self):
+        mgr = QuantumLockManager(quantum=1000)
+        assert not mgr.request("a", CriticalSection("r", 200), offset=900)
+        assert len(mgr.deferred) == 1
+
+    def test_boundary_exact_fit(self):
+        mgr = QuantumLockManager(quantum=1000)
+        assert mgr.request("a", CriticalSection("r", 1000), offset=0)
+
+    def test_validation(self):
+        mgr = QuantumLockManager(quantum=1000)
+        with pytest.raises(ValueError):
+            mgr.request("a", CriticalSection("r", 2000), offset=0)
+        with pytest.raises(ValueError):
+            mgr.request("a", CriticalSection("r", 10), offset=1000)
+        with pytest.raises(ValueError):
+            CriticalSection("r", 0)
+        with pytest.raises(ValueError):
+            QuantumLockManager(quantum=0)
+
+    def test_max_blocking_constant(self):
+        secs = [CriticalSection("r", 30), CriticalSection("s", 80)]
+        assert max_blocking(secs, quantum=1000) == 80
+        assert max_blocking([], quantum=1000) == 0
+        with pytest.raises(ValueError):
+            max_blocking([CriticalSection("r", 2000)], quantum=1000)
+
+    def test_mpcp_blocking_grows_with_contention(self):
+        base = {"me": [CriticalSection("r", 10)]}
+        for n in (1, 4, 16):
+            world = dict(base)
+            for i in range(n):
+                world[f"o{i}"] = [CriticalSection("r", 50)]
+            assert mpcp_remote_blocking(world, "me") == 50 * n
+        # Quantum-boundary blocking stays constant regardless.
+        assert max_blocking(base["me"], 1000) == 10
+
+    def test_mpcp_ignores_nonconflicting(self):
+        world = {"me": [CriticalSection("r", 10)],
+                 "other": [CriticalSection("unrelated", 99)]}
+        assert mpcp_remote_blocking(world, "me") == 0
+
+
+class TestLockFree:
+    def test_bound_formula(self):
+        b = pfair_retry_bound(4, 1000, 10)
+        assert b.interferers == 3
+        assert b.ops_per_interferer == 101
+        assert b.max_retries == 303
+
+    def test_uniprocessor_no_interference(self):
+        assert pfair_retry_bound(1, 1000, 10).max_retries == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pfair_retry_bound(0, 1000, 10)
+        with pytest.raises(ValueError):
+            pfair_retry_bound(2, 10, 100)
+
+    def test_adversarial_near_bound(self):
+        b = pfair_retry_bound(3, 100, 10)
+        sims = simulate_retry_loop(3, 100, 10, rounds=3, adversarial=True)
+        assert max(sims) <= b.max_retries
+        assert max(sims) >= b.max_retries - b.interferers  # tight-ish
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 6), st.integers(20, 200), st.integers(1, 10))
+    def test_prop_simulation_never_exceeds_bound(self, m, q, op):
+        op = min(op, q)
+        b = pfair_retry_bound(m, q, op)
+        sims = simulate_retry_loop(m, q, op, rounds=50, seed=q)
+        assert max(sims) <= b.max_retries
+
+
+class TestFailures:
+    def test_transparent_tolerance_when_capacity_suffices(self):
+        """U <= M - K: losing K processors is invisible (Sec. 5.4)."""
+        tasks = [PeriodicTask(1, 2) for _ in range(4)]  # U = 2
+        res = pd2_with_failures(tasks, 3, 240, [FailureEvent(60, 1)])
+        assert res.stats.miss_count == 0
+
+    def test_overload_causes_misses(self):
+        tasks = [PeriodicTask(1, 2) for _ in range(4)]  # U = 2
+        res = pd2_with_failures(tasks, 3, 240, [FailureEvent(60, 2)])
+        assert res.stats.miss_count > 0
+
+    def test_multiple_failures_accumulate(self):
+        tasks = [PeriodicTask(1, 4) for _ in range(4)]  # U = 1
+        res = pd2_with_failures(
+            tasks, 4, 200, [FailureEvent(40, 1), FailureEvent(80, 1),
+                            FailureEvent(120, 1)])
+        assert res.stats.miss_count == 0  # still one CPU >= U = 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(-1)
+        with pytest.raises(ValueError):
+            FailureEvent(0, 0)
+
+
+class TestReweighting:
+    def test_no_change_when_fits(self):
+        tasks = [PeriodicTask(1, 4, name="a"), PeriodicTask(1, 4, name="b")]
+        plan = plan_reweighting(tasks, ["a"], capacity=1)
+        assert plan == {"b": (1, 4)}
+
+    def test_scales_noncritical_down(self):
+        tasks = [PeriodicTask(1, 2, name="crit"),
+                 PeriodicTask(1, 2, name="x"), PeriodicTask(1, 2, name="y")]
+        plan = plan_reweighting(tasks, ["crit"], capacity=1)
+        assert plan is not None
+        total = weight_sum(
+            [Weight(1, 2)] + [Weight.of_task(e, p) for e, p in plan.values()])
+        assert total <= 1
+
+    def test_infeasible_when_critical_alone_exceeds(self):
+        tasks = [PeriodicTask(1, 1, name="c1"), PeriodicTask(1, 1, name="c2"),
+                 PeriodicTask(1, 2, name="x")]
+        assert plan_reweighting(tasks, ["c1", "c2"], capacity=1) is None
+
+    def test_reweighted_system_schedulable(self):
+        tasks = [PeriodicTask(1, 2, name="crit"),
+                 PeriodicTask(2, 4, name="x"), PeriodicTask(3, 6, name="y")]
+        plan = plan_reweighting(tasks, ["crit"], capacity=1)
+        assert plan is not None
+        from repro.sim.quantum import simulate_pfair
+
+        new_tasks = [PeriodicTask(1, 2, name="crit")] + [
+            PeriodicTask(e, p, name=n) for n, (e, p) in plan.items()]
+        res = simulate_pfair(new_tasks, 1, 120)
+        crit_misses = [m for m in res.stats.misses if m.task.name == "crit"]
+        assert not crit_misses
+
+
+class TestIsolation:
+    def test_pfair_victims_untouched(self):
+        rep = pfair_isolation_experiment(
+            [(1, 2), (1, 3)], (1, 4), processors=2, horizon=120,
+            demand_factor=6)
+        assert rep.victim_misses == 0
+        assert rep.victim_quanta >= rep.victim_entitlement
+
+    def test_aggressor_bounded_by_spare_capacity(self):
+        """Victims take their shares; the aggressor only ever gets the rest."""
+        rep = pfair_isolation_experiment(
+            [(1, 2), (1, 2), (2, 3)], (1, 6), processors=2, horizon=60,
+            demand_factor=10)
+        assert rep.victim_misses == 0
+        spare = 2 * 60 - rep.victim_quanta
+        assert rep.aggressor_quanta <= spare
+
+    def test_edf_contrast(self):
+        no_cbs = edf_overrun_experiment((2, 10), (1, 4), 2000,
+                                        overrun_factor=4, use_cbs=False)
+        with_cbs = edf_overrun_experiment((2, 10), (1, 4), 2000,
+                                          overrun_factor=4, use_cbs=True)
+        assert no_cbs.victim_misses > 0
+        assert with_cbs.victim_misses == 0

@@ -1,0 +1,73 @@
+"""Tests for the critical-section overlay simulation."""
+
+import pytest
+
+from repro.core.task import PeriodicTask
+from repro.sim.quantum import simulate_pfair
+from repro.sync.simulate import overlay_critical_sections
+
+
+def run_overlay(**kwargs):
+    tasks = [PeriodicTask(1, 2, name="a"), PeriodicTask(2, 3, name="b"),
+             PeriodicTask(1, 6, name="c")]
+    res = simulate_pfair(tasks, 2, 60, trace=True)
+    defaults = dict(quantum_ticks=100, section_ticks=20,
+                    request_probability=1.0, resource_count=1, seed=1)
+    defaults.update(kwargs)
+    return overlay_critical_sections(res.trace, tasks, 60, **defaults)
+
+
+class TestValidation:
+    def test_section_bounds(self):
+        with pytest.raises(ValueError):
+            run_overlay(section_ticks=0)
+        with pytest.raises(ValueError):
+            run_overlay(section_ticks=101)
+
+
+class TestBoundaryProtocol:
+    def test_deferral_rate_tracks_section_fraction(self):
+        boundary, _ = run_overlay(section_ticks=20)
+        # Offsets uniform in [0, 100): crossing prob = 19/100.
+        rate = boundary.deferrals / boundary.requests
+        assert 0.10 <= rate <= 0.30
+
+    def test_no_deferrals_for_boundary_fitting_sections(self):
+        # section == 1 tick: only offset 99 defers (1% of requests).
+        boundary, _ = run_overlay(section_ticks=1)
+        assert boundary.deferrals <= boundary.requests * 0.05
+
+    def test_full_quantum_section_always_defers_unless_at_zero(self):
+        boundary, _ = run_overlay(section_ticks=100)
+        rate = boundary.deferrals / boundary.requests
+        assert rate > 0.9
+
+    def test_deferral_latency_positive_when_deferred(self):
+        boundary, _ = run_overlay(section_ticks=80)
+        if boundary.deferrals:
+            assert boundary.max_deferral_ticks > 0
+
+
+class TestNaiveProtocol:
+    def test_cross_preemption_blocking_occurs_under_contention(self):
+        _, naive = run_overlay(section_ticks=90, resource_count=1)
+        assert naive.cross_preemption_blocks > 0
+        assert naive.max_block_ticks > 0
+
+    def test_more_resources_less_contention(self):
+        _, naive_one = run_overlay(section_ticks=90, resource_count=1)
+        _, naive_many = run_overlay(section_ticks=90, resource_count=8)
+        assert naive_many.cross_preemption_blocks <= \
+            naive_one.cross_preemption_blocks
+
+    def test_identical_request_streams(self):
+        boundary, naive = run_overlay()
+        assert boundary.requests == naive.requests
+
+
+class TestDeterminism:
+    def test_seeded_reproducibility(self):
+        a = run_overlay(seed=7)
+        b = run_overlay(seed=7)
+        assert a[0].deferrals == b[0].deferrals
+        assert a[1].cross_preemption_blocks == b[1].cross_preemption_blocks
