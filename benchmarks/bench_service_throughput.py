@@ -1,0 +1,114 @@
+"""Admission-service throughput: cold vs. warm cache, batched vs. not.
+
+Runs a real server (``ServerThread`` on an ephemeral port) and measures
+admissions per second through the blocking client in four regimes:
+
+* **cold cache** — every request carries a distinct task set, so each
+  admission pays the full PD² + EDF-FF analysis;
+* **warm cache** — every request re-analyses the same set (renamed per
+  request, which the canonical hash ignores), so the LRU answers;
+* **unbatched** — one request per write/read round trip;
+* **batched** — all requests pipelined in one ``send_batch`` call, which
+  the server answers with per-batch writes.
+
+Checks the issue's acceptance bound — warm-cache admissions at least
+5× faster than cold — and writes the series to
+``benchmarks/out/service_throughput.txt``.
+
+All admissions here are ``dry_run`` so the live system stays empty and
+every request exercises the same code path regardless of order.
+"""
+
+import random
+import time
+
+from conftest import full_scale, write_report
+
+from repro.service import AdmissionClient, ServerThread, ServiceState
+
+Q = 1000  # ticks per quantum
+N_REQUESTS = 120 if full_scale() else 40
+# Large, dense sets so the PD2/EDF-FF analysis dominates the wire
+# overhead (the cache can only win back what the analysis costs).
+TASKS_PER_SET = 64
+
+
+def _task_set(salt: int, rename: int = 0):
+    """A task set whose parameters vary with ``salt`` but not ``rename``."""
+    rng = random.Random(salt)
+    tasks = []
+    for i in range(TASKS_PER_SET):
+        period = rng.randrange(8, 24) * Q
+        execution = rng.randrange(1, 9) * Q
+        tasks.append({"execution": execution, "period": period,
+                      "name": f"s{salt}r{rename}t{i}"})
+    return tasks
+
+
+def _time_admissions(client, sets, batched):
+    start = time.perf_counter()
+    if batched:
+        payloads = [{"verb": "admit", "tasks": s, "dry_run": True}
+                    for s in sets]
+        responses = client.send_batch(payloads)
+    else:
+        responses = [client.request("admit", tasks=s, dry_run=True)
+                     for s in sets]
+    elapsed = time.perf_counter() - start
+    assert all(r["ok"] for r in responses)
+    return elapsed, responses
+
+
+def test_service_throughput(benchmark):
+    state = ServiceState(processors=64, cache_capacity=4096)
+    results = {}
+    with ServerThread(state) as (host, port):
+        with AdmissionClient(host, port) as client:
+            # Cold: N distinct sets, unbatched.
+            cold_sets = [_task_set(salt) for salt in range(N_REQUESTS)]
+            cold_s, _ = _time_admissions(client, cold_sets, batched=False)
+            results["cold unbatched"] = N_REQUESTS / cold_s
+
+            # Warm: the same sets again (renamed — same canonical hash).
+            warm_sets = [_task_set(salt, rename=1)
+                         for salt in range(N_REQUESTS)]
+            warm_s, resp = _time_admissions(client, warm_sets, batched=False)
+            results["warm unbatched"] = N_REQUESTS / warm_s
+            assert all(r["analysis"]["cached"] for r in resp)
+
+            # Warm + batched: one pipelined write for the whole load.
+            batch_sets = [_task_set(salt, rename=2)
+                          for salt in range(N_REQUESTS)]
+            batch_s, resp = _time_admissions(client, batch_sets, batched=True)
+            results["warm batched"] = N_REQUESTS / batch_s
+            assert all(r["analysis"]["cached"] for r in resp)
+
+            # The pytest-benchmark figure: one warm-cache admission.
+            benchmark.pedantic(
+                client.admit, args=([_task_set(0, rename=3)][0],),
+                kwargs=dict(dry_run=True), rounds=5, iterations=1)
+
+            cache = client.stats()["cache"]
+
+    speedup = warm_s and cold_s / warm_s
+    batch_gain = batch_s and warm_s / batch_s
+    lines = [
+        "Admission-service throughput "
+        f"({N_REQUESTS} admissions of {TASKS_PER_SET}-task sets, dry-run)",
+        "",
+        "regime            admissions/sec",
+    ]
+    for regime, rate in results.items():
+        lines.append(f"  {regime:15s} {rate:10.0f}")
+    lines += [
+        "",
+        f"warm/cold speedup (unbatched): {speedup:.1f}x  (acceptance: >= 5x)",
+        f"batched/unbatched (warm):      {batch_gain:.1f}x",
+        f"cache: {cache['hits']} hits, {cache['misses']} misses, "
+        f"hit rate {cache['hit_rate']:.2f}",
+    ]
+    write_report("service_throughput.txt", "\n".join(lines))
+
+    assert speedup >= 5.0, (
+        f"warm-cache admission only {speedup:.1f}x faster than cold")
+    assert batch_gain > 1.0, "pipelining should beat per-request round trips"

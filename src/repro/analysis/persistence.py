@@ -16,13 +16,33 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Union
 
 from .experiments import CampaignRow
 from .stats import SampleStats
 
-__all__ = ["save_campaign", "load_campaign", "merge_campaigns"]
+__all__ = ["atomic_write_text", "save_campaign", "load_campaign",
+           "merge_campaigns"]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` so readers never observe a torn file.
+
+    The content goes to a ``.tmp`` sibling first and is renamed into place
+    with :func:`os.replace` (atomic on POSIX and Windows for same-directory
+    renames).  A crash mid-write leaves the previous version of ``path``
+    intact; the stray ``.tmp`` is removed on the failure paths we control.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 _STAT_FIELDS = ("m_pd2", "m_ff", "loss_pfair", "loss_edf", "loss_ff")
 
@@ -42,7 +62,12 @@ def _stats_from_dict(d: Dict[str, Any]) -> SampleStats:
 def save_campaign(path: Union[str, Path], rows: Sequence[CampaignRow], *,
                   seed: int, sets_per_point: int,
                   note: str = "") -> None:
-    """Write campaign rows plus provenance to ``path`` (JSON)."""
+    """Write campaign rows plus provenance to ``path`` (JSON).
+
+    The write is crash-safe (see :func:`atomic_write_text`): interrupting
+    a paper-scale campaign mid-save never leaves a truncated file — the
+    previous save, if any, survives intact.
+    """
     payload = {
         "format": "repro-campaign-v1",
         "seed": seed,
@@ -60,7 +85,7 @@ def save_campaign(path: Union[str, Path], rows: Sequence[CampaignRow], *,
             for r in rows
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
 
 def load_campaign(path: Union[str, Path]) -> List[CampaignRow]:

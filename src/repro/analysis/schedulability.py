@@ -31,8 +31,9 @@ and ``U'_PD2`` the total quantised inflated weight.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..overheads.inflation import pd2_inflate_set, pd2_total_weight
 from ..overheads.model import OverheadModel
@@ -45,7 +46,41 @@ __all__ = [
     "edf_ff_min_processors",
     "SchedulabilityPoint",
     "evaluate_task_set",
+    "task_set_signature",
+    "task_set_cache_key",
 ]
+
+
+def task_set_signature(specs: Sequence[TaskSpec]) -> Tuple:
+    """Canonical hashable identity of a task set for result caching.
+
+    Every field that the schedulability analyses read is included; names
+    are not (two sets differing only in task names schedule identically).
+    The tuple is *sorted*, so permutations of the same multiset of tasks
+    share a signature — both analyses are order-insensitive (PD² sums
+    weights; overhead-aware EDF-FF re-sorts by decreasing period).
+    """
+    return tuple(sorted(
+        (s.execution, s.period, s.cache_delay, s.relative_deadline,
+         s.max_section, s.resource)
+        for s in specs
+    ))
+
+
+def task_set_cache_key(specs: Sequence[TaskSpec],
+                       model: OverheadModel) -> Optional[str]:
+    """Stable digest keying one ``(task set, overhead model)`` analysis.
+
+    Returns ``None`` when ``model`` carries custom cost curves that cannot
+    be fingerprinted (see :meth:`OverheadModel.signature`) — results under
+    such a model must not be cached.  The digest is stable across
+    processes and Python versions, so it can key on-disk caches too.
+    """
+    sig = model.signature()
+    if sig is None:
+        return None
+    payload = repr((sig, task_set_signature(specs)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def pd2_min_processors(specs: Sequence[TaskSpec], model: OverheadModel, *,

@@ -5,9 +5,14 @@ Quick access to the library's main entry points without writing a script:
 * ``windows E/P``          — print the Pfair windows of a weight (Fig. 1 style)
 * ``schedule E/P [E/P...]`` — run PD² on a task set and print the schedule
 * ``fig1`` ``fig5``        — regenerate the paper's illustrative figures
-* ``fig3`` ``fig4``        — run a (scaled) Fig. 3 / Fig. 4 campaign
+* ``fig3`` ``fig4``        — run a (scaled) Fig. 3 / Fig. 4 campaign;
+  ``--jobs N`` parallelises the grid over a process pool
 * ``compare E/P [E/P...]`` — minimum processors under PD² vs EDF-FF with
   the paper's overhead constants (weights are given in quanta)
+* ``serve``                — run the admission-control service (TCP,
+  JSON lines; see docs/SERVICE.md)
+* ``admit E/P [E/P...]``   — ask a running service to admit a task set
+* ``svc-stats``            — print a running service's metrics
 
 Weights are written ``E/P`` in integer quanta (e.g. ``8/11``).
 """
@@ -127,7 +132,7 @@ def _campaign(args, formatter) -> int:
     grid = utilization_grid(args.tasks, points=args.points)
     rows = run_schedulability_campaign(
         args.tasks, grid, sets_per_point=args.sets, seed=args.seed,
-        workers=args.workers,
+        workers=args.jobs,
         progress=lambda msg: print(msg, file=sys.stderr))
     print(formatter(rows, args.tasks, args.sets))
     if args.save:
@@ -146,6 +151,135 @@ def _cmd_fig3(args) -> int:
 
 def _cmd_fig4(args) -> int:
     return _campaign(args, fig4_table)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service.server import AdmissionServer
+    from .service.state import ServiceState
+
+    state = ServiceState(args.processors, cache_capacity=args.cache)
+    server = AdmissionServer(state, args.host, args.port,
+                             max_batch=args.max_batch,
+                             max_pending=args.max_pending)
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(f"admission service on {host}:{port} "
+              f"({args.processors} processors, quantum "
+              f"{state.model.quantum} ticks); protocol: docs/SERVICE.md",
+              file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; draining connections", file=sys.stderr)
+    return 0
+
+
+def _service_client(args):
+    from .service.client import AdmissionClient
+
+    return AdmissionClient(args.host, args.port, timeout=args.timeout)
+
+
+def _cmd_admit(args) -> int:
+    from .service.client import ServiceResponseError
+    from .workload.io import load_task_set
+
+    if args.file:
+        specs = load_task_set(args.file)
+        tasks = [{"name": s.name, "execution": s.execution,
+                  "period": s.period, "cache_delay": s.cache_delay,
+                  "deadline": s.deadline} for s in specs]
+    elif args.weights:
+        # Weights are quanta; the service speaks ticks.  Names carry the
+        # PID so repeated invocations don't collide in the live system.
+        import os
+
+        q = 1000
+        tasks = [{"name": f"cli{os.getpid()}-{i}",
+                  "execution": e * q, "period": p * q}
+                 for i, (e, p) in enumerate(args.weights)]
+    else:
+        print("give weights or --file", file=sys.stderr)
+        return 2
+    try:
+        with _service_client(args) as client:
+            r = client.admit(tasks, dry_run=args.dry_run)
+    except (ConnectionError, OSError, ServiceResponseError) as exc:
+        print(f"admit failed: {exc}", file=sys.stderr)
+        return 1
+    verdict = "ADMITTED" if r["admitted"] else "REJECTED"
+    if args.dry_run:
+        verdict += " (dry run)"
+    a = r["analysis"]
+    print(f"{verdict}: {len(tasks)} tasks, requested weight "
+          f"{r['requested_weight']}")
+    print(f"  live system: committed {r['committed_weight']} of "
+          f"{r['capacity']} processors (Eq. (2) "
+          f"{'holds' if r['feasible'] else 'violated'})")
+    print(f"  min processors if scheduled alone: PD² {a['m_pd2']}, "
+          f"EDF-FF {a['m_edf_ff']}"
+          f"{'   [cached]' if a['cached'] else ''}")
+    return 0 if r["admitted"] else 1
+
+
+def _cmd_svc_stats(args) -> int:
+    import json as _json
+
+    try:
+        with _service_client(args) as client:
+            r = client.stats()
+    except (ConnectionError, OSError) as exc:
+        print(f"stats failed: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps({"metrics": r["metrics"], "cache": r["cache"],
+                       "system": r["system"]}, indent=2))
+    return 0
+
+
+def _add_service_commands(sub) -> None:
+    def common(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7011,
+                       help="service port (default 7011)")
+        p.add_argument("--timeout", type=float, default=30.0,
+                       help="client socket timeout in seconds")
+
+    p = sub.add_parser("serve",
+                       help="run the admission-control service "
+                            "(JSON lines over TCP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7011,
+                   help="listen port; 0 picks an ephemeral one")
+    p.add_argument("--processors", type=int, default=4,
+                   help="live system size M for Eq. (2) admission")
+    p.add_argument("--cache", type=int, default=1024,
+                   help="LRU analysis-cache capacity")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="max pipelined requests answered per write")
+    p.add_argument("--max-pending", type=int, default=256,
+                   help="per-connection backpressure high-water mark")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("admit",
+                       help="ask a running service to admit a task set")
+    p.add_argument("weights", type=_parse_weight, nargs="*",
+                   help="weights E/P in 1 ms quanta")
+    p.add_argument("--file", default=None,
+                   help="task-set JSON file (see repro.workload.io)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="decide but do not join the live system")
+    common(p)
+    p.set_defaults(fn=_cmd_admit)
+
+    p = sub.add_parser("svc-stats",
+                       help="print a running service's metrics as JSON")
+    common(p)
+    p.set_defaults(fn=_cmd_svc_stats)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,11 +338,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--points", type=int, default=8)
         p.add_argument("--sets", type=int, default=15)
         p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--workers", type=int, default=1,
-                       help="grid points in parallel (process pool)")
+        p.add_argument("--jobs", "-j", "--workers", dest="jobs", type=int,
+                       default=1, metavar="N",
+                       help="worker processes for the campaign grid "
+                            "(ProcessPoolExecutor; results are "
+                            "byte-identical to the serial run; "
+                            "--workers is an alias)")
         p.add_argument("--save", default=None,
                        help="write the campaign rows to this JSON file")
         p.set_defaults(fn=fn)
+
+    _add_service_commands(sub)
 
     return parser
 

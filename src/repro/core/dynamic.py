@@ -23,6 +23,7 @@ effect and capacity allows.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Tuple
 
 from ..sim.quantum import QuantumSimulator, SimResult
@@ -99,6 +100,29 @@ class DynamicPfairSystem:
     def can_admit(self, task: PfairTask) -> bool:
         return self.committed_weight() + task.weight <= self.processors
 
+    def tasks(self) -> List[PfairTask]:
+        """All tasks ever admitted (including ones whose departure is
+        pending or complete), in join order."""
+        return list(self._tasks.values())
+
+    def find_task(self, task_id: int) -> Optional[PfairTask]:
+        """The admitted or pending-join task with ``task_id``, or ``None``.
+
+        After a :meth:`restore`, previously held task references are stale
+        (the snapshot carries copies); re-resolve them through this."""
+        task = self._tasks.get(task_id)
+        if task is not None:
+            return task
+        for _, pending in self._pending_joins:
+            if pending.task_id == task_id:
+                return pending
+        return None
+
+    def departure_time(self, task_id: int) -> Optional[int]:
+        """Slot at which ``task_id``'s departure takes effect, or ``None``
+        if no leave has been requested."""
+        return self._departures.get(task_id)
+
     # -- joins / leaves --------------------------------------------------------
 
     def try_join(self, task: PfairTask) -> bool:
@@ -138,8 +162,17 @@ class DynamicPfairSystem:
         The task stops executing immediately (its subtask stream is
         truncated at the last-scheduled subtask), but its capacity stays
         committed until the paper's leave condition is met.
+
+        A task whose join is still pending (queued by :meth:`reweight`)
+        was never scheduled, so it may leave immediately: the queued join
+        is cancelled and the departure takes effect now.
         """
         if task.task_id not in self._tasks:
+            for i, (_, pending) in enumerate(self._pending_joins):
+                if pending.task_id == task.task_id:
+                    del self._pending_joins[i]
+                    self._departures[task.task_id] = self.now
+                    return self.now
             raise KeyError(f"{task.name} is not in the system")
         if task.task_id in self._departures:
             return self._departures[task.task_id]
@@ -165,6 +198,36 @@ class DynamicPfairSystem:
         self._pending_joins.append((departure, new_task))
         self._pending_joins.sort(key=lambda x: x[0])
         return departure, new_task
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot(self) -> "DynamicPfairSystem":
+        """Capture the complete system state (simulator included).
+
+        Returns an independent deep copy: advancing or mutating ``self``
+        afterwards does not disturb the snapshot.  Shared immutable window
+        tables are not duplicated.  Long-running services use this to make
+        multi-task admissions transactional — snapshot, attempt the joins,
+        and :meth:`restore` on partial failure so a rejected request leaves
+        no trace.
+        """
+        return copy.deepcopy(self)
+
+    def restore(self, snap: "DynamicPfairSystem") -> None:
+        """Adopt the state captured by :meth:`snapshot`, discarding all
+        changes made since.
+
+        The snapshot's internals are adopted *directly* (not re-copied), so
+        a snapshot is one-shot: after a restore, take a fresh snapshot
+        rather than restoring the same one twice.
+        """
+        if snap is self:
+            raise ValueError("cannot restore a system from itself")
+        if not isinstance(snap, DynamicPfairSystem):
+            raise TypeError(f"expected a DynamicPfairSystem snapshot, "
+                            f"got {type(snap).__name__}")
+        self.__dict__.clear()
+        self.__dict__.update(snap.__dict__)
 
     # -- time ------------------------------------------------------------------
 

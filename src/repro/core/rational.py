@@ -51,6 +51,19 @@ class Weight:
     def __setattr__(self, name: str, value) -> None:  # pragma: no cover
         raise AttributeError("Weight is immutable")
 
+    # Immutability makes sharing safe: copies return self, and pickling
+    # goes through the constructor (the default slot-state protocol would
+    # trip over the guarded __setattr__ above).
+
+    def __copy__(self) -> "Weight":
+        return self
+
+    def __deepcopy__(self, memo) -> "Weight":
+        return self
+
+    def __reduce__(self):
+        return (Weight, (self.num, self.den))
+
     # -- constructors ------------------------------------------------------
 
     @classmethod

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 __all__ = ["OverheadModel", "interp_table", "PAPER_EDF_TABLE", "PAPER_PD2_TABLES"]
 
@@ -87,6 +87,14 @@ def _paper_pd2(n: float, m: float) -> float:
     return y_lo + t * (y_hi - y_lo)
 
 
+def _zero_edf(n: float) -> float:
+    return 0.0
+
+
+def _zero_pd2(n: float, m: float) -> float:
+    return 0.0
+
+
 @dataclass
 class OverheadModel:
     """All overhead constants for the Eq. (3) inflation, in µs ticks.
@@ -119,4 +127,21 @@ class OverheadModel:
     def zero(cls, quantum: int = 1000) -> "OverheadModel":
         """A no-overhead model (isolates pure quantisation loss)."""
         return cls(context_switch=0, quantum=quantum,
-                   sched_edf=lambda n: 0.0, sched_pd2=lambda n, m: 0.0)
+                   sched_edf=_zero_edf, sched_pd2=_zero_pd2)
+
+    def signature(self) -> Optional[Tuple]:
+        """Hashable identity of this model, for result caching.
+
+        Two models with equal signatures produce identical schedulability
+        results for every task set.  Returns ``None`` when the scheduling
+        cost curves are custom callables whose behaviour cannot be
+        fingerprinted — callers must then skip caching rather than risk
+        serving results computed under a different model.
+        """
+        if self.sched_edf is _paper_edf and self.sched_pd2 is _paper_pd2:
+            curves = "paper-fig2"
+        elif self.sched_edf is _zero_edf and self.sched_pd2 is _zero_pd2:
+            curves = "zero"
+        else:
+            return None
+        return (curves, self.context_switch, self.quantum)

@@ -74,6 +74,31 @@ class TestPersistence:
         back = load_campaign(path)
         assert math.isinf(back[0].m_pd2.ci99_halfwidth)
 
+    def test_save_is_atomic(self, tmp_path, rows, monkeypatch):
+        """A crash mid-write must never clobber the previous campaign."""
+        import os as _os
+
+        path = tmp_path / "camp.json"
+        save_campaign(path, rows, seed=2, sets_per_point=6)
+        good = path.read_text()
+
+        def boom(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(_os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_campaign(path, rows[:1], seed=3, sets_per_point=6)
+        monkeypatch.undo()
+        # The original file is intact and no .tmp sibling is left behind.
+        assert path.read_text() == good
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_save_leaves_no_tmp_on_success(self, tmp_path, rows):
+        path = tmp_path / "camp.json"
+        save_campaign(path, rows, seed=2, sets_per_point=6)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
 
 class TestMerge:
     def test_merged_stats_match_pooled_sample(self):

@@ -1,0 +1,90 @@
+"""Hypothesis property tests for the dynamic-system leave rules.
+
+Cross-checks :func:`repro.core.dynamic.earliest_leave_time` against the
+closed-form subtask formulas of :mod:`repro.core.subtask` — the paper's
+Sec. 5 conditions stated directly: a light task waits until
+``d(T_i) + b(T_i)`` of its last-scheduled subtask, a heavy task until
+that subtask's group deadline, and a never-scheduled task (nonnegative
+lag) may leave immediately.  A final system-level property drives whole
+feasible systems through join/run/leave and checks the Eq. (2)
+invariant at every slot.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicPfairSystem, earliest_leave_time
+from repro.core.rational import weight_sum
+from repro.core.subtask import b_bit, group_deadline, pseudo_deadline
+from repro.core.task import PeriodicTask
+
+from strategies import feasible_task_systems, weights
+
+# A subtask index within the first period (the window pattern repeats
+# with period e, so the first period covers every distinct shape).
+_indices = st.integers(1, 12)
+_nows = st.integers(0, 200)
+
+
+@given(weights, _nows)
+@settings(max_examples=50)
+def test_never_scheduled_leaves_immediately(ep, now):
+    e, p = ep
+    task = PeriodicTask(e, p)
+    assert earliest_leave_time(task, 0, now) == now
+
+
+@given(weights, _indices, _nows)
+@settings(max_examples=100)
+def test_light_tasks_wait_until_deadline_plus_b(ep, index, now):
+    e, p = ep
+    task = PeriodicTask(e, p)
+    if not task.weight.is_light():
+        return
+    index = min(index, e)  # stay within the first period's pattern
+    expected = max(now, pseudo_deadline(e, p, index) + b_bit(e, p, index))
+    assert earliest_leave_time(task, index, now) == expected
+
+
+@given(weights, _indices, _nows)
+@settings(max_examples=100)
+def test_heavy_tasks_wait_until_group_deadline(ep, index, now):
+    e, p = ep
+    task = PeriodicTask(e, p)
+    if not task.weight.is_heavy():
+        return
+    index = min(index, e)
+    expected = max(now, group_deadline(e, p, index))
+    assert earliest_leave_time(task, index, now) == expected
+
+
+@given(weights, _indices)
+@settings(max_examples=100)
+def test_leave_never_precedes_last_subtask_deadline(ep, index):
+    """Departing capacity is held at least until the last-scheduled
+    subtask's pseudo-deadline — the slack the proofs charge against."""
+    e, p = ep
+    task = PeriodicTask(e, p)
+    index = min(index, e)
+    assert earliest_leave_time(task, index, 0) >= pseudo_deadline(e, p, index)
+
+
+@given(feasible_task_systems(), st.integers(1, 20))
+@settings(max_examples=25, deadline=None)
+def test_leave_keeps_eq2_invariant(system, run_for):
+    """Join a feasible set, run, ask everyone to leave, run to the end:
+    committed weight never exceeds M and nothing misses a deadline."""
+    tasks, processors, horizon = system
+    dyn = DynamicPfairSystem(processors)
+    for t in tasks:
+        dyn.join(t)
+    dyn.advance(min(run_for, horizon))
+    departures = [dyn.request_leave(t) for t in tasks]
+    for d in departures:
+        assert d >= dyn.now or d == dyn.now  # never in the past
+    while dyn.now < max(departures + [horizon]):
+        committed = dyn.committed_weight()
+        assert committed <= processors
+        dyn.advance(1)
+    assert dyn.committed_weight() == weight_sum([])
+    assert dyn.sim.stats.miss_count == 0
