@@ -10,12 +10,14 @@ default benches use fewer and print CIs so the precision is visible —
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..overheads.model import OverheadModel
+from ..util.toggles import fastpath_enabled
 from ..workload.generator import TaskSetGenerator
 from .schedulability import SchedulabilityPoint, evaluate_task_set
 from .stats import SampleStats, summarize
@@ -25,6 +27,7 @@ __all__ = [
     "utilization_grid",
     "CampaignRow",
     "run_schedulability_campaign",
+    "shutdown_worker_pool",
 ]
 
 
@@ -43,6 +46,47 @@ def _evaluate_grid_point(args: Tuple[int, float, int, int,
     gen = TaskSetGenerator(point_seed)
     return [evaluate_task_set(gen.generate(n_tasks, u), model)
             for _ in range(sets_per_point)]
+
+
+def _warm_init(fastpath_on: bool) -> None:
+    """Worker initializer: inherit the fast-path toggle and pay the heavy
+    imports once per worker instead of once per task batch."""
+    from ..util.toggles import set_fastpath
+
+    set_fastpath(fastpath_on)
+    from . import schedulability  # noqa: F401  (pulls in the whole chain)
+
+
+#: The persistent campaign pool.  Spawning a ProcessPoolExecutor per
+#: campaign call re-pays worker startup and module imports on every
+#: figure; one warm pool is reused across every campaign in the process
+#: and torn down at exit.
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_config: Optional[Tuple[int, bool]] = None
+
+
+def _worker_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_config
+    config = (workers, fastpath_enabled())
+    if _pool is None or _pool_config != config:
+        shutdown_worker_pool()
+        _pool = ProcessPoolExecutor(max_workers=workers,
+                                    initializer=_warm_init,
+                                    initargs=(config[1],))
+        _pool_config = config
+    return _pool
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the warm campaign pool (idempotent; re-created on use)."""
+    global _pool, _pool_config
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_config = None
+
+
+atexit.register(shutdown_worker_pool)
 
 
 def full_scale() -> bool:
@@ -97,8 +141,19 @@ def run_schedulability_campaign(
     jobs = [(n_tasks, u, sets_per_point, seed + 7919 * k, model)
             for k, u in enumerate(utilizations)]
     if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            all_points = list(pool.map(_evaluate_grid_point, jobs))
+        if fastpath_enabled():
+            # The pool is warm (persistent across campaign calls, workers
+            # pre-seeded with the fast-path toggle and the analysis
+            # imports); chunking amortises pickling over several grid
+            # points per trip.
+            pool = _worker_pool(workers)
+            chunk = max(1, len(jobs) // (workers * 4))
+            all_points = list(pool.map(_evaluate_grid_point, jobs,
+                                       chunksize=chunk))
+        else:
+            # --no-fastpath: the original throwaway pool, for A/B runs.
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                all_points = list(pool.map(_evaluate_grid_point, jobs))
     else:
         all_points = [_evaluate_grid_point(job) for job in jobs]
     rows: List[CampaignRow] = []

@@ -33,15 +33,19 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Optional, Sequence, Tuple
 
-from ..overheads.inflation import pd2_inflate_set, pd2_total_weight
+from ..overheads.inflation import pd2_inflate_set
 from ..overheads.model import OverheadModel
 from ..partition.heuristics import PartitionFailure
 from ..partition.partitioner import edf_ff
+from ..util.lru import LRUCache
+from ..util.toggles import fastpath_enabled
 from ..workload.spec import TaskSpec, total_utilization
 
 __all__ = [
+    "ANALYSIS_CACHE",
     "pd2_min_processors",
     "edf_ff_min_processors",
     "SchedulabilityPoint",
@@ -49,6 +53,17 @@ __all__ = [
     "task_set_signature",
     "task_set_cache_key",
 ]
+
+#: Process-wide schedulability results, shared by every consumer of this
+#: module: :func:`pd2_min_processors` / :func:`edf_ff_min_processors`
+#: (and hence :func:`evaluate_task_set`, the campaign workers, and the
+#: admission service's ``analyze`` verb) all read and write one keyspace,
+#: keyed by :func:`task_set_cache_key` digests.  Campaigns draw duplicate
+#: task sets across grid points and the service re-analyzes the sets it
+#: admits, so sharing one cache turns those repeats into dict lookups.
+#: Analyses under models whose cost curves cannot be fingerprinted
+#: (``task_set_cache_key`` returns ``None``) bypass the cache entirely.
+ANALYSIS_CACHE = LRUCache(capacity=65536)
 
 
 def task_set_signature(specs: Sequence[TaskSpec]) -> Tuple:
@@ -61,7 +76,8 @@ def task_set_signature(specs: Sequence[TaskSpec]) -> Tuple:
     weights; overhead-aware EDF-FF re-sorts by decreasing period).
     """
     return tuple(sorted(
-        (s.execution, s.period, s.cache_delay, s.relative_deadline,
+        (s.execution, s.period, s.cache_delay,
+         s.period if s.deadline is None else s.deadline,  # relative_deadline
          s.max_section, s.resource)
         for s in specs
     ))
@@ -83,6 +99,62 @@ def task_set_cache_key(specs: Sequence[TaskSpec],
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+_UNSET = object()  # "caller did not precompute" sentinel (None is a value)
+
+
+def _pd2_analysis(specs: Sequence[TaskSpec], model: OverheadModel,
+                  cap: int, digest=_UNSET, u_total: Optional[Fraction] = None
+                  ) -> Tuple[Optional[int], Optional[float], int]:
+    """The PD² search, cached: ``(m, inflated total weight at m, max
+    fixed-point iterations at m)``, with ``m = None`` when no M up to
+    ``cap`` suffices.
+
+    One search serves both :func:`pd2_min_processors` (which wants ``m``)
+    and :func:`evaluate_task_set` (which previously re-inflated the whole
+    set at ``m`` a second time for the Fig. 4 loss terms).
+    ``digest`` / ``u_total`` let callers that already computed the cache
+    key or the exact total utilization pass them in.
+    """
+    ckey = None
+    if fastpath_enabled():
+        if digest is _UNSET:
+            digest = task_set_cache_key(specs, model)
+        if digest is not None:
+            ckey = ("pd2", digest, cap)
+            hit = ANALYSIS_CACHE.get(ckey)
+            if hit is not None:
+                return hit
+    result: Tuple[Optional[int], Optional[float], int] = (None, None, 0)
+    u_raw = total_utilization(specs) if u_total is None else u_total
+    m = max(1, -(-u_raw.numerator // u_raw.denominator))  # ceil
+    while m <= cap:
+        inflations = pd2_inflate_set(specs, model, m)
+        # One pass: feasibility, the exact total weight (unnormalised
+        # num/den, as in pd2_total_weight), and the max iteration count.
+        feasible = True
+        num, den, iters = 0, 1, 0
+        for inf in inflations:
+            e_q, p_q = inf.quanta, inf.period_quanta
+            if e_q > p_q:
+                feasible = False
+                break
+            num = num * p_q + e_q * den
+            den *= p_q
+            if inf.iterations > iters:
+                iters = inf.iterations
+        if feasible:
+            if num <= m * den:      # total <= m, cross-multiplied
+                result = (m, float(Fraction(num, den)), iters)
+                break
+            # Jump straight to the implied lower bound instead of +1 steps.
+            m = max(m + 1, -(-num // den))  # ceil(total)
+        else:
+            break  # some task infeasible alone; more CPUs won't help
+    if ckey is not None:
+        ANALYSIS_CACHE.put(ckey, result)
+    return result
+
+
 def pd2_min_processors(specs: Sequence[TaskSpec], model: OverheadModel, *,
                        max_processors: Optional[int] = None) -> Optional[int]:
     """Smallest M passing the PD² feasibility test with Eq. (3) inflation.
@@ -90,37 +162,48 @@ def pd2_min_processors(specs: Sequence[TaskSpec], model: OverheadModel, *,
     Returns ``None`` if no M up to ``max_processors`` (default: task count,
     since one processor per task is the most any feasible set needs —
     a task whose inflated weight still exceeds 1 can never be scheduled)
-    suffices.
+    suffices.  Results are memoised in :data:`ANALYSIS_CACHE`.
     """
     if not specs:
         return 1
     cap = max_processors if max_processors is not None else len(specs)
-    u_raw = total_utilization(specs)
-    m = max(1, -(-u_raw.numerator // u_raw.denominator))  # ceil
-    while m <= cap:
-        inflations = pd2_inflate_set(specs, model, m)
-        if all(inf.feasible for inf in inflations):
-            total = pd2_total_weight(inflations)
-            if total <= m:
-                return m
-            # Jump straight to the implied lower bound instead of +1 steps.
-            m = max(m + 1, -(-total.numerator // total.denominator))
-        else:
-            return None  # some task infeasible alone; more CPUs won't help
-    return None
+    return _pd2_analysis(specs, model, cap)[0]
+
+
+def _edf_ff_analysis(specs: Sequence[TaskSpec], model: OverheadModel,
+                     digest=_UNSET) -> Tuple[Optional[int], Optional[float]]:
+    """The EDF-FF packing, cached: ``(processors, packed inflated
+    utilization)``, both ``None`` on packing failure."""
+    ckey = None
+    if fastpath_enabled():
+        if digest is _UNSET:
+            digest = task_set_cache_key(specs, model)
+        if digest is not None:
+            ckey = ("edfff", digest)
+            hit = ANALYSIS_CACHE.get(ckey)
+            if hit is not None:
+                return hit
+    try:
+        packing = edf_ff(specs,
+                         overhead_inflation=model.edf_fixed_inflation(len(specs)))
+        result: Tuple[Optional[int], Optional[float]] = (
+            packing.processors, float(packing.partition.total_load()))
+    except PartitionFailure:
+        result = (None, None)
+    if ckey is not None:
+        ANALYSIS_CACHE.put(ckey, result)
+    return result
 
 
 def edf_ff_min_processors(specs: Sequence[TaskSpec],
                           model: OverheadModel) -> Optional[int]:
-    """Processors EDF-FF opens with overhead-aware acceptance (Sec. 4)."""
+    """Processors EDF-FF opens with overhead-aware acceptance (Sec. 4).
+
+    Results are memoised in :data:`ANALYSIS_CACHE`.
+    """
     if not specs:
         return 1
-    try:
-        result = edf_ff(specs,
-                        overhead_inflation=model.edf_fixed_inflation(len(specs)))
-    except PartitionFailure:
-        return None
-    return result.processors
+    return _edf_ff_analysis(specs, model)[0]
 
 
 @dataclass(frozen=True)
@@ -158,26 +241,23 @@ class SchedulabilityPoint:
 
 def evaluate_task_set(specs: Sequence[TaskSpec],
                       model: OverheadModel) -> SchedulabilityPoint:
-    """Compute the Fig. 3/Fig. 4 quantities for one task set."""
-    u_raw = float(total_utilization(specs))
-    m_pd2 = pd2_min_processors(specs, model)
-    u_pd2 = None
-    iters = 0
-    if m_pd2 is not None:
-        inflations = pd2_inflate_set(specs, model, m_pd2)
-        u_pd2 = float(pd2_total_weight(inflations))
-        iters = max(inf.iterations for inf in inflations)
-    u_edf = None
-    m_ff = None
+    """Compute the Fig. 3/Fig. 4 quantities for one task set.
+
+    Shares the cached analyses with the ``*_min_processors`` entry points
+    — the inflated totals fall straight out of the searches, so nothing
+    is computed twice.
+    """
+    u_exact = total_utilization(specs)
+    u_raw = float(u_exact)
     if specs:
-        try:
-            packing = edf_ff(
-                specs,
-                overhead_inflation=model.edf_fixed_inflation(len(specs)))
-            m_ff = packing.processors
-            u_edf = float(packing.partition.total_load())
-        except PartitionFailure:
-            pass
+        digest = (task_set_cache_key(specs, model) if fastpath_enabled()
+                  else _UNSET)
+        m_pd2, u_pd2, iters = _pd2_analysis(specs, model, len(specs),
+                                            digest, u_exact)
+        m_ff, u_edf = _edf_ff_analysis(specs, model, digest)
+    else:
+        m_pd2, u_pd2, iters = 1, 0.0, 0
+        m_ff, u_edf = None, None
     return SchedulabilityPoint(
         n_tasks=len(specs),
         utilization=u_raw,

@@ -62,7 +62,17 @@ def _cmd_windows(args) -> int:
     return 0
 
 
+def _apply_fastpath_flag(args) -> None:
+    """Honour ``--no-fastpath``: force reference implementations
+    process-wide (campaign workers inherit through the pool initializer)."""
+    if getattr(args, "no_fastpath", False):
+        from .util.toggles import set_fastpath
+
+        set_fastpath(False)
+
+
 def _cmd_schedule(args) -> int:
+    _apply_fastpath_flag(args)
     tasks = [PeriodicTask(e, p, name=f"T{i}")
              for i, (e, p) in enumerate(args.weights)]
     ts = TaskSet(tasks)
@@ -129,6 +139,7 @@ def _cmd_fig5(args) -> int:
 
 
 def _campaign(args, formatter) -> int:
+    _apply_fastpath_flag(args)
     grid = utilization_grid(args.tasks, points=args.points)
     rows = run_schedulability_campaign(
         args.tasks, grid, sets_per_point=args.sets, seed=args.seed,
@@ -304,6 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="processor count (default: ceil of total weight)")
     p.add_argument("--horizon", type=int, default=0,
                    help="slots to simulate (default: 2 hyperperiods, <= 200)")
+    p.add_argument("--no-fastpath", action="store_true",
+                   help="force the reference simulator (disable the "
+                        "packed-key PD² fast path)")
     p.add_argument("--width", type=int, default=60,
                    help="columns of schedule to print")
     p.set_defaults(fn=_cmd_schedule)
@@ -346,6 +360,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "--workers is an alias)")
         p.add_argument("--save", default=None,
                        help="write the campaign rows to this JSON file")
+        p.add_argument("--no-fastpath", action="store_true",
+                       help="force the reference analysis/simulation code "
+                            "paths (disable caches and fast paths)")
         p.set_defaults(fn=fn)
 
     _add_service_commands(sub)

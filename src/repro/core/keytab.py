@@ -1,0 +1,218 @@
+"""Packed PD² priority keys: the whole tie-break chain in one integer.
+
+The reference ready queue (:class:`~repro.sim.quantum.QuantumSimulator`)
+is a heap of tuples ``(deadline, 1 - b, -D, task_id, index)`` built by
+:meth:`~repro.core.priority.PD2Priority.key`.  Every push/pop compares
+tuples element by element and every activation allocates a fresh tuple.
+This module packs the same chain into a single Python ``int`` so the heap
+holds plain integers — one machine comparison per level instead of up to
+five object comparisons — and so a whole period's worth of keys can be
+precomputed once per weight and reused for every job by adding a constant.
+
+Layout (most significant first)::
+
+    | deadline (unbounded) | 1-b : 1 | gd-field : 40 | task_id : 22 | index : 32 |
+
+* ``deadline`` occupies the (unbounded) top of the integer, so it
+  dominates the comparison exactly as it does in the tuple.
+* the ``1-b`` bit follows: b-bit 1 beats b-bit 0.
+* the group-deadline field must *reverse* the order (later group deadline
+  = higher priority) inside a fixed-width field.  We exploit that the
+  field is only ever compared between keys with **equal deadlines** (the
+  deadline field above differs otherwise), and that a heavy subtask's
+  group deadline satisfies ``D(T_i) >= d(T_i)``, to store the bounded
+  difference::
+
+      gd-field = GD_LIGHT              if D = 0   (light task: ties last)
+      gd-field = GD_LIGHT - 1 - (D-d)  otherwise  (later D -> smaller field)
+
+  Comparing gd-fields at equal ``d`` is then exactly comparing ``-D``:
+  both branches of PD²'s second tie-break.  ``D - d`` is bounded by the
+  period (the group-deadline walk ends at the job boundary), far below
+  the 40-bit field.
+* ``task_id`` and ``index`` make the order total, mirroring the tuple's
+  deterministic tail.
+
+The packed and tuple keys induce the same total order over all subtasks
+whose parameters fit the fixed-width fields — the hypothesis property
+test in ``tests/test_core_keytab.py`` is the load-bearing correctness
+argument for the fast path, and :func:`check_capacity` rejects systems
+that would overflow a field (they fall back to the reference simulator).
+
+Like :class:`~repro.core.subtask.WindowTable`, packed keys are periodic
+in the subtask index: subtask ``i = q*e + j`` has key
+``base[j] + q * job_step`` where ``job_step`` advances the deadline field
+by one period and the index field by one job's worth of subtasks.
+:class:`TaskKeyTable` precomputes ``base`` per task (folding in the task
+id and phase), making key generation two integer operations per subtask.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from .subtask import window_table
+
+__all__ = [
+    "IDX_BITS",
+    "ID_BITS",
+    "GD_BITS",
+    "MAX_TASK_ID",
+    "MAX_INDEX",
+    "pack_key",
+    "unpack_key",
+    "TaskKeyTable",
+    "task_key_table",
+    "check_capacity",
+]
+
+#: Field widths.  A 32-bit index field allows ~4e9 subtasks per task
+#: (simulation horizons beyond any campaign), 22 bits allow 4M concurrent
+#: task ids, and the 40-bit group-deadline field holds any ``D - d``
+#: difference for periods up to ~10^12 quanta.
+IDX_BITS = 32
+ID_BITS = 22
+GD_BITS = 40
+
+_ID_SHIFT = IDX_BITS
+_GD_SHIFT = IDX_BITS + ID_BITS
+_B_SHIFT = IDX_BITS + ID_BITS + GD_BITS
+_D_SHIFT = _B_SHIFT + 1
+
+_IDX_MASK = (1 << IDX_BITS) - 1
+_ID_MASK = (1 << ID_BITS) - 1
+_GD_MASK = (1 << GD_BITS) - 1
+
+#: Light tasks (group deadline 0) sort after every heavy task in a
+#: deadline/b-bit tie: the largest value of the reversed field.
+GD_LIGHT = _GD_MASK
+_GD_TOP = GD_LIGHT - 1
+
+MAX_TASK_ID = _ID_MASK
+MAX_INDEX = _IDX_MASK
+_MAX_GD_DELTA = _GD_TOP
+
+
+def pack_key(deadline: int, b_bit: int, group_deadline: int,
+             task_id: int, index: int) -> int:
+    """Pack one subtask's PD² priority into a single integer.
+
+    Induces the same order as the tuple
+    ``(deadline, 1 - b_bit, -group_deadline, task_id, index)`` over all
+    real subtask parameter combinations (where ``group_deadline`` is
+    either 0 or ``>= deadline``) within the field bounds.
+    """
+    if group_deadline:
+        delta = group_deadline - deadline
+        if not 0 <= delta <= _MAX_GD_DELTA:
+            raise OverflowError(
+                f"group deadline offset {delta} outside [0, {_MAX_GD_DELTA}]"
+            )
+        gd_field = _GD_TOP - delta
+    else:
+        gd_field = GD_LIGHT
+    if not 0 <= task_id <= MAX_TASK_ID:
+        raise OverflowError(f"task id {task_id} outside [0, {MAX_TASK_ID}]")
+    if not 0 <= index <= MAX_INDEX:
+        raise OverflowError(f"subtask index {index} outside [0, {MAX_INDEX}]")
+    return (((deadline << 1 | (1 - b_bit)) << GD_BITS | gd_field)
+            << ID_BITS | task_id) << IDX_BITS | index
+
+
+def unpack_key(key: int) -> Tuple[int, int, int]:
+    """``(deadline, task_id, index)`` of a packed key.
+
+    The b-bit and group deadline are recoverable too, but the simulator
+    only ever needs these three (for miss records and bookkeeping).
+    """
+    return key >> _D_SHIFT, (key >> _ID_SHIFT) & _ID_MASK, key & _IDX_MASK
+
+
+class _SharedKeyTable:
+    """Per-weight packed parameters, shared by all tasks of one ``(e, p)``.
+
+    ``base[j]`` is the packed key of subtask ``j+1`` of job 1 with task id
+    0 and phase 0; ``rel[j]`` is its pseudo-release.  A concrete task
+    obtains its keys by adding ``task_id`` into the id field and its phase
+    into the deadline field — see :class:`TaskKeyTable`.
+    """
+
+    __slots__ = ("execution", "period", "base", "rel", "job_step")
+
+    def __init__(self, execution: int, period: int) -> None:
+        table = window_table(execution, period)
+        self.execution = execution
+        self.period = period
+        self.rel: List[int] = [table.release(i)
+                               for i in range(1, execution + 1)]
+        self.base: List[int] = [
+            pack_key(table.deadline(i), table.b_bit(i),
+                     table.group_deadline(i), 0, i)
+            for i in range(1, execution + 1)
+        ]
+        #: Key increment from one job to the next: the deadline field
+        #: advances by the period, the index field by ``e`` subtasks.
+        #: (The group-deadline field stores ``D - d``, which is
+        #: job-invariant, and the b-bit pattern repeats.)
+        self.job_step = (period << _D_SHIFT) + execution
+
+
+@lru_cache(maxsize=None)
+def _shared_key_table(execution: int, period: int) -> _SharedKeyTable:
+    return _SharedKeyTable(execution, period)
+
+
+class TaskKeyTable:
+    """O(1) packed-key generator for one task.
+
+    ``key(i)`` returns the packed PD² priority of subtask ``i`` (1-based)
+    and ``release(i)`` its pseudo-release, both in absolute slots
+    (the task's phase included).
+    """
+
+    __slots__ = ("execution", "period", "phase", "base", "rel", "job_step")
+
+    def __init__(self, execution: int, period: int, task_id: int,
+                 phase: int = 0) -> None:
+        shared = _shared_key_table(execution, period)
+        if not 0 <= task_id <= MAX_TASK_ID:
+            raise OverflowError(f"task id {task_id} outside [0, {MAX_TASK_ID}]")
+        self.execution = execution
+        self.period = period
+        self.phase = phase
+        offset = (phase << _D_SHIFT) | (task_id << _ID_SHIFT)
+        self.base: List[int] = [k + offset for k in shared.base]
+        self.rel: List[int] = ([r + phase for r in shared.rel]
+                               if phase else shared.rel)
+        self.job_step = shared.job_step
+
+    def key(self, index: int) -> int:
+        q, j = divmod(index - 1, self.execution)
+        return self.base[j] + q * self.job_step
+
+    def release(self, index: int) -> int:
+        q, j = divmod(index - 1, self.execution)
+        return self.rel[j] + q * self.period
+
+
+def task_key_table(task) -> TaskKeyTable:
+    """Build the :class:`TaskKeyTable` of a synchronous periodic task."""
+    return TaskKeyTable(task.execution, task.period, task.task_id,
+                        getattr(task, "phase", 0))
+
+
+def check_capacity(tasks, horizon: int) -> bool:
+    """True when every packed-key field fits for ``tasks`` over ``horizon``.
+
+    Overflow is astronomically unlikely at realistic scales (ids beyond
+    4M, single-task horizons beyond 4G subtasks), but the fast path
+    degrades to the reference simulator rather than corrupting an order.
+    """
+    for t in tasks:
+        if t.task_id > MAX_TASK_ID:
+            return False
+        # Subtasks released within the horizon: at most ceil(h/p)*e + e.
+        if ((horizon // t.period + 2) * t.execution) > MAX_INDEX:
+            return False
+    return True

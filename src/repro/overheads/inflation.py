@@ -34,9 +34,8 @@ iterations, which :func:`pd2_inflate` reports for the Sec.-4 claim check.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 from ..workload.spec import TaskSpec
 from .model import OverheadModel
@@ -44,9 +43,13 @@ from .model import OverheadModel
 __all__ = ["PD2Inflation", "pd2_inflate", "pd2_inflate_set", "pd2_total_weight"]
 
 
-@dataclass(frozen=True)
-class PD2Inflation:
-    """Result of inflating one task for PD² on a given platform."""
+class PD2Inflation(NamedTuple):
+    """Result of inflating one task for PD² on a given platform.
+
+    A named tuple rather than a dataclass: Fig. 3 campaigns build tens of
+    thousands of these per grid point, and tuple construction is several
+    times cheaper than frozen-dataclass ``object.__setattr__`` init.
+    """
 
     spec: TaskSpec
     inflated_execution: int     # e' in ticks
@@ -65,7 +68,8 @@ class PD2Inflation:
 
 
 def pd2_inflate(spec: TaskSpec, model: OverheadModel, n_tasks: int,
-                processors: int, *, max_iterations: int = 64) -> PD2Inflation:
+                processors: int, sched_cost: Optional[float] = None, *,
+                max_iterations: int = 64) -> PD2Inflation:
     """Fixed-point Eq. (3) inflation of one task for PD².
 
     Returns an inflation whose ``feasible`` flag is False when the inflated
@@ -73,6 +77,10 @@ def pd2_inflate(spec: TaskSpec, model: OverheadModel, n_tasks: int,
     point is taken over ``E``; if the iteration ever cycles (possible in
     principle because the ``min`` term can shrink as ``E`` grows), the
     largest ``E`` seen is kept — a conservative (safe) choice.
+
+    ``sched_cost`` lets set-level callers pass a precomputed
+    ``S_PD2(n_tasks, processors)`` — it is the same for every task in a
+    set, and the Fig. 3 campaign inflates millions of tasks.
     """
     q = model.quantum
     if spec.period % q != 0:
@@ -80,41 +88,111 @@ def pd2_inflate(spec: TaskSpec, model: OverheadModel, n_tasks: int,
             f"{spec.name or 'task'}: period {spec.period} not a quantum multiple"
         )
     p_quanta = spec.period // q
-    s_pd2 = model.pd2_sched_cost(n_tasks, processors)
+    s_pd2 = (model.pd2_sched_cost(n_tasks, processors)
+             if sched_cost is None else sched_cost)
     c = model.context_switch
-    d = spec.cache_delay
+    switch_cost = c + spec.cache_delay
+    e = spec.execution
+    ceil = math.ceil
 
-    e_prime = spec.execution
+    e_prime = e
     e_quanta = -(-e_prime // q)
-    seen: set = set()
+    # The cycle-detection set is only needed from the second iteration on
+    # (it is empty during the first membership test), and most tasks
+    # converge in one or two — so its allocation is deferred.
+    seen: Optional[set] = None
     iterations = 0
     while True:
         iterations += 1
         preemptions = min(e_quanta - 1, p_quanta - e_quanta)
         if preemptions < 0:  # E already exceeds the period: infeasible
             return PD2Inflation(spec, e_prime, e_quanta, p_quanta, iterations)
-        new_e_prime = math.ceil(
-            spec.execution + e_quanta * s_pd2 + c + preemptions * (c + d)
+        new_e_prime = ceil(
+            e + e_quanta * s_pd2 + c + preemptions * switch_cost
         )
         new_quanta = -(-new_e_prime // q)
         if new_quanta == e_quanta or iterations >= max_iterations:
             return PD2Inflation(spec, new_e_prime, new_quanta, p_quanta, iterations)
-        if new_quanta in seen:
+        if seen is None:
+            seen = {e_quanta}
+        elif new_quanta in seen:
             # Cycle: keep the conservative (largest) quantum count.
             e_quanta = max(new_quanta, e_quanta)
             e_prime = e_quanta * q
             return PD2Inflation(spec, e_prime, e_quanta, p_quanta, iterations)
-        seen.add(e_quanta)
+        else:
+            seen.add(e_quanta)
         e_prime, e_quanta = new_e_prime, new_quanta
 
 
 def pd2_inflate_set(specs: Sequence[TaskSpec], model: OverheadModel,
                     processors: int) -> List[PD2Inflation]:
-    """Inflate a whole set (``n_tasks`` is the set size, as in the paper)."""
+    """Inflate a whole set (``n_tasks`` is the set size, as in the paper).
+
+    The Eq. (3) fixed point is inlined here rather than delegated to
+    :func:`pd2_inflate` — the Fig. 3 search calls this for every candidate
+    M of every random set, and the per-task call overhead is measurable.
+    Keep the loop body in lockstep with :func:`pd2_inflate`; the test
+    suite pins the two to identical results over random sets.
+    """
+    if not specs:
+        return []
     n = len(specs)
-    return [pd2_inflate(s, model, n, processors) for s in specs]
+    s_pd2 = model.pd2_sched_cost(n, processors)
+    c = model.context_switch
+    q = model.quantum
+    ceil = math.ceil
+    out: List[PD2Inflation] = []
+    append = out.append
+    for spec in specs:
+        p = spec.period
+        if p % q != 0:
+            raise ValueError(
+                f"{spec.name or 'task'}: period {p} not a quantum multiple"
+            )
+        p_quanta = p // q
+        switch_cost = c + spec.cache_delay
+        e = spec.execution
+        e_prime = e
+        e_quanta = -(-e_prime // q)
+        seen = None
+        iterations = 0
+        while True:
+            iterations += 1
+            preemptions = min(e_quanta - 1, p_quanta - e_quanta)
+            if preemptions < 0:
+                append(PD2Inflation(spec, e_prime, e_quanta, p_quanta,
+                                    iterations))
+                break
+            new_e_prime = ceil(e + e_quanta * s_pd2 + c
+                               + preemptions * switch_cost)
+            new_quanta = -(-new_e_prime // q)
+            if new_quanta == e_quanta or iterations >= 64:
+                append(PD2Inflation(spec, new_e_prime, new_quanta, p_quanta,
+                                    iterations))
+                break
+            if seen is None:
+                seen = {e_quanta}
+            elif new_quanta in seen:
+                e_quanta = max(new_quanta, e_quanta)
+                append(PD2Inflation(spec, e_quanta * q, e_quanta, p_quanta,
+                                    iterations))
+                break
+            else:
+                seen.add(e_quanta)
+            e_prime, e_quanta = new_e_prime, new_quanta
+    return out
 
 
 def pd2_total_weight(inflations: Sequence[PD2Inflation]) -> Fraction:
-    """Exact total quantised weight ``sum E/P`` — compare against M."""
-    return sum((inf.weight for inf in inflations), Fraction(0))
+    """Exact total quantised weight ``sum E/P`` — compare against M.
+
+    Accumulated as an unnormalised numerator/denominator pair, reduced by
+    one final gcd — exactly the same rational as summing the ``weight``
+    fractions, minus a gcd per task.
+    """
+    num, den = 0, 1
+    for inf in inflations:
+        num = num * inf.period_quanta + inf.quanta * den
+        den *= inf.period_quanta
+    return Fraction(num, den)

@@ -70,19 +70,27 @@ PAPER_PD2_TABLES = {
 }
 
 
+# The paper tables are module constants, so their interpolators are built
+# once at import instead of per call — campaign profiles showed closure
+# construction inside _paper_pd2 dominating the Eq. (3) fixed point.
+_PAPER_EDF_INTERP = interp_table(*PAPER_EDF_TABLE)
+_PAPER_PD2_INTERPS = {m: interp_table(*tab) for m, tab in PAPER_PD2_TABLES.items()}
+_PAPER_PD2_MS = sorted(PAPER_PD2_TABLES)
+
+
 def _paper_edf(n: float) -> float:
-    return interp_table(*PAPER_EDF_TABLE)(n)
+    return _PAPER_EDF_INTERP(n)
 
 
 def _paper_pd2(n: float, m: float) -> float:
-    ms = sorted(PAPER_PD2_TABLES)
+    ms = _PAPER_PD2_MS
     m = max(ms[0], min(m, ms[-1]))
     lo = max(k for k in ms if k <= m)
     hi = min(k for k in ms if k >= m)
-    y_lo = interp_table(*PAPER_PD2_TABLES[lo])(n)
+    y_lo = _PAPER_PD2_INTERPS[lo](n)
     if lo == hi:
         return y_lo
-    y_hi = interp_table(*PAPER_PD2_TABLES[hi])(n)
+    y_hi = _PAPER_PD2_INTERPS[hi](n)
     t = (math.log2(m) - math.log2(lo)) / (math.log2(hi) - math.log2(lo))
     return y_lo + t * (y_hi - y_lo)
 
@@ -114,14 +122,31 @@ class OverheadModel:
             raise ValueError("context switch cost must be nonnegative")
         if self.quantum <= 0:
             raise ValueError("quantum must be positive")
+        # Per-instance cost memos: campaigns call these with a handful of
+        # distinct (N, M) pairs millions of times.  The curves are pure
+        # functions of their arguments, so memoisation is invisible.
+        # (Plain instance attributes — not dataclass fields — so equality
+        # and repr still compare the model parameters only.)
+        self._edf_fixed_memo: dict = {}
+        self._pd2_cost_memo: dict = {}
 
     def edf_fixed_inflation(self, n_tasks: int) -> int:
         """The task-independent EDF term ``2(S_EDF + C)``, rounded up."""
-        return math.ceil(2 * (self.sched_edf(n_tasks) + self.context_switch))
+        memo = self._edf_fixed_memo
+        out = memo.get(n_tasks)
+        if out is None:
+            out = memo[n_tasks] = math.ceil(
+                2 * (self.sched_edf(n_tasks) + self.context_switch))
+        return out
 
     def pd2_sched_cost(self, n_tasks: int, processors: int) -> float:
         """``S_PD2(N, M)`` in µs."""
-        return self.sched_pd2(n_tasks, processors)
+        memo = self._pd2_cost_memo
+        out = memo.get((n_tasks, processors))
+        if out is None:
+            out = memo[(n_tasks, processors)] = \
+                self.sched_pd2(n_tasks, processors)
+        return out
 
     @classmethod
     def zero(cls, quantum: int = 1000) -> "OverheadModel":

@@ -25,7 +25,7 @@ commit so the bin's exact ``load`` stays meaningful.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from ..workload.spec import TaskSpec
 from .bins import ProcessorBin
@@ -41,6 +41,17 @@ __all__ = [
 ]
 
 
+class _Ratio(NamedTuple):
+    """An unnormalised utilization ratio, duck-typed for
+    :meth:`ProcessorBin.add` (which only reads numerator/denominator).
+    The EDF ``first_fit`` scans return it instead of a :class:`Fraction`
+    to skip a gcd per admission; the bin's ``load`` property reduces on
+    read, so observable values are unchanged."""
+
+    numerator: int
+    denominator: int
+
+
 class AcceptanceTest:
     """Interface: can ``spec`` join ``bin``, and at what committed load?"""
 
@@ -51,15 +62,47 @@ class AcceptanceTest:
         """Return the utilization to commit if acceptable, else ``None``."""
         raise NotImplementedError
 
+    def first_fit(self, bins: Sequence[ProcessorBin], spec: TaskSpec
+                  ) -> Optional[Tuple[ProcessorBin, Fraction]]:
+        """First admitting bin in scan order, with its committed load.
+
+        Equivalent to probing every bin with :meth:`admit` and taking the
+        first hit; the EDF subclasses override it with a single tight loop
+        because the first-fit scan is the partitioning hot path.
+        """
+        for b in bins:
+            u = self.admit(b, spec)
+            if u is not None:
+                return b, u
+        return None
+
 
 class EDFUtilizationTest(AcceptanceTest):
-    """Exact EDF test: total utilization at most 1."""
+    """Exact EDF test: total utilization at most 1.
+
+    The probe cross-multiplies integers — ``load + e/p <= 1`` iff
+    ``load_num * p + e * load_den <= load_den * p`` — so a failed
+    admission (the common case while first fit scans full bins) builds no
+    :class:`~fractions.Fraction` at all; the exact rational is only
+    constructed for the committed load.
+    """
 
     algorithm = "edf"
 
     def admit(self, bin: ProcessorBin, spec: TaskSpec) -> Optional[Fraction]:
-        u = spec.utilization
-        return u if bin.load + u <= 1 else None
+        num, den = bin.load_num, bin.load_den
+        if num * spec.period + spec.execution * den > den * spec.period:
+            return None
+        return spec.utilization
+
+    def first_fit(self, bins: Sequence[ProcessorBin], spec: TaskSpec
+                  ) -> Optional[Tuple[ProcessorBin, Fraction]]:
+        e, p = spec.execution, spec.period
+        for b in bins:
+            num, den = b.load_num, b.load_den
+            if num * p + e * den <= den * p:
+                return b, _Ratio(e, p)
+        return None
 
 
 class EDFOverheadTest(AcceptanceTest):
@@ -86,15 +129,42 @@ class EDFOverheadTest(AcceptanceTest):
         return spec.execution + self.fixed_inflation + bin.max_cache_delay
 
     def admit(self, bin: ProcessorBin, spec: TaskSpec) -> Optional[Fraction]:
-        if bin.tasks and spec.period > max(t.period for t in bin.tasks):
+        # bin.max_period is maintained by ProcessorBin.add, replacing the
+        # previous O(|bin|) max() scan on every probe.
+        if bin.max_period is not None and spec.period > bin.max_period:
             raise ValueError(
                 "EDFOverheadTest requires tasks in non-increasing period order"
             )
-        e_prime = self.inflated_execution(bin, spec)
+        e_prime = spec.execution + self.fixed_inflation + bin.max_cache_delay
         if e_prime > spec.period:
             return None
-        u = Fraction(e_prime, spec.period)
-        return u if bin.load + u <= 1 else None
+        # Integer cross-multiplied probe (see EDFUtilizationTest): the
+        # Fraction is only built when the admission succeeds.
+        num, den = bin.load_num, bin.load_den
+        if num * spec.period + e_prime * den > den * spec.period:
+            return None
+        return Fraction(e_prime, spec.period)
+
+    def first_fit(self, bins: Sequence[ProcessorBin], spec: TaskSpec
+                  ) -> Optional[Tuple[ProcessorBin, Fraction]]:
+        # The inlined body of admit, once per bin without the method-call
+        # overhead — Fig. 3 campaigns spend most of their EDF-side time in
+        # exactly this scan.
+        e, p = spec.execution, spec.period
+        fixed = self.fixed_inflation
+        for b in bins:
+            if b.max_period is not None and p > b.max_period:
+                raise ValueError(
+                    "EDFOverheadTest requires tasks in non-increasing "
+                    "period order"
+                )
+            e_prime = e + fixed + b.max_cache_delay
+            if e_prime > p:
+                continue
+            num, den = b.load_num, b.load_den
+            if num * p + e_prime * den <= den * p:
+                return b, _Ratio(e_prime, p)
+        return None
 
 
 def _ll_bound(n: int) -> float:

@@ -24,14 +24,31 @@ class ProcessorBin:
     def __init__(self, index: int) -> None:
         self.index = index
         self.tasks: List[TaskSpec] = []
-        #: Exact committed utilization (inflated, if an overhead-aware
-        #: acceptance test is in use — the test supplies the increments).
-        self.load: Fraction = Fraction(0)
+        #: Exact committed utilization, kept as an (unnormalised)
+        #: numerator/denominator pair — the acceptance-test probes only
+        #: cross-multiply, so skipping the gcd on every admission is free
+        #: exactness.  ``load`` exposes the reduced :class:`Fraction`.
+        self.load_num: int = 0
+        self.load_den: int = 1
         #: Largest D(T) among resident tasks (for Eq. (3) inflation of
         #: subsequently added, shorter-period tasks).
         self.max_cache_delay: int = 0
         #: Smallest period among resident tasks (RM response-time tests).
         self.min_period: Optional[int] = None
+        #: Largest period among resident tasks (the decreasing-period
+        #: feed-order check of the overhead-aware EDF test).
+        self.max_period: Optional[int] = None
+
+    @property
+    def load(self) -> Fraction:
+        """Exact committed utilization (inflated, if an overhead-aware
+        acceptance test is in use — the test supplies the increments)."""
+        return Fraction(self.load_num, self.load_den)
+
+    @load.setter
+    def load(self, value: Fraction) -> None:
+        f = Fraction(value)
+        self.load_num, self.load_den = f.numerator, f.denominator
 
     @property
     def spare(self) -> Fraction:
@@ -40,11 +57,15 @@ class ProcessorBin:
     def add(self, spec: TaskSpec, utilization: Fraction) -> None:
         """Commit ``spec`` at the given (possibly inflated) utilization."""
         self.tasks.append(spec)
-        self.load += utilization
+        num, den = utilization.numerator, utilization.denominator
+        self.load_num = self.load_num * den + num * self.load_den
+        self.load_den *= den
         if spec.cache_delay > self.max_cache_delay:
             self.max_cache_delay = spec.cache_delay
         if self.min_period is None or spec.period < self.min_period:
             self.min_period = spec.period
+        if self.max_period is None or spec.period > self.max_period:
+            self.max_period = spec.period
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -69,7 +90,12 @@ class Partition:
         return len(self.bins)
 
     def total_load(self) -> Fraction:
-        return sum((b.load for b in self.bins), Fraction(0))
+        # Accumulate the bins' raw num/den pairs; one reduction at the end.
+        num, den = 0, 1
+        for b in self.bins:
+            num = num * b.load_den + b.load_num * den
+            den *= b.load_den
+        return Fraction(num, den)
 
     def bin_of(self, name: str) -> Optional[ProcessorBin]:
         for b in self.bins:

@@ -69,11 +69,13 @@ def _order_decreasing_utilization(specs: Sequence[TaskSpec]) -> List[TaskSpec]:
 
 
 def _order_decreasing_period(specs: Sequence[TaskSpec]) -> List[TaskSpec]:
-    return sorted(specs, key=lambda s: (-s.period, -s.utilization, s.name))
+    # The utilization tie-break is only consulted at equal periods, where
+    # utilization order is execution order — so the key can stay integer.
+    return sorted(specs, key=lambda s: (-s.period, -s.execution, s.name))
 
 
 def _order_increasing_period(specs: Sequence[TaskSpec]) -> List[TaskSpec]:
-    return sorted(specs, key=lambda s: (s.period, -s.utilization, s.name))
+    return sorted(specs, key=lambda s: (s.period, -s.execution, s.name))
 
 
 ORDERINGS: dict = {
@@ -153,9 +155,26 @@ def partition(specs: Sequence[TaskSpec], *,
         accept = EDFUtilizationTest()
     part = Partition()
     ordered = order_fn(specs)
+    bins = part.bins          # stable list identity; new_bin appends to it
+    is_ff = place_fn is _place_ff
+    ff_scan = accept.first_fit
     for spec in ordered:
-        admissions = [accept.admit(b, spec) for b in part.bins]
-        chosen = place_fn(part.bins, admissions)
+        # First fit commits to the first admitting bin and next fit only
+        # ever looks at the last, so don't probe the rest — acceptance
+        # tests are stateless, making the short-circuit scan equivalent
+        # to probing every bin and discarding the unused answers.  Best
+        # and worst fit genuinely need every admission.
+        if is_ff:
+            chosen = ff_scan(bins, spec)
+        elif place_fn is _place_nf:
+            chosen = None
+            if part.bins:
+                u = accept.admit(part.bins[-1], spec)
+                if u is not None:
+                    chosen = (part.bins[-1], u)
+        else:
+            admissions = [accept.admit(b, spec) for b in part.bins]
+            chosen = place_fn(part.bins, admissions)
         if chosen is None:
             if max_bins is not None and part.processors >= max_bins:
                 raise PartitionFailure(spec, part)

@@ -1,89 +1,11 @@
-"""LRU result cache keyed by canonical task-set hashes.
+"""The service's analysis cache — a re-export of :mod:`repro.util.lru`.
 
-Admission analysis is the service's hot path: a cold ``admit``/``query``
-runs the Eq. (3) fixed-point inflation and a first-fit packing per
-candidate processor count — milliseconds of exact rational arithmetic for
-paper-sized sets.  Production traffic is heavily repetitive (the same
-application profiles arrive again and again), so the service hashes each
-``(task set, overhead model)`` pair into a canonical key
-(:func:`repro.analysis.schedulability.task_set_cache_key` — order- and
-name-insensitive) and memoises the analysis in a bounded LRU: repeated
-schedulability queries are O(1) dict lookups.
-
-The cache stores only *pure* analysis results (minimum processor counts,
-inflated utilizations).  Live-system admission — Eq. (2) against the
-current committed weight — is never cached: it depends on mutable state.
+The LRU implementation moved to :mod:`repro.util.lru` so that the
+schedulability layer (:mod:`repro.analysis.schedulability`) can share one
+cache keyspace with the service without importing the service package.
+This module remains the service-facing import path.
 """
 
-from __future__ import annotations
-
-from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional
+from ..util.lru import LRUCache
 
 __all__ = ["LRUCache"]
-
-
-class LRUCache:
-    """A bounded mapping with least-recently-used eviction and hit stats.
-
-    Not thread-safe; the server confines it to the event loop (single
-    threaded), which is the only writer.
-    """
-
-    def __init__(self, capacity: int = 1024) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        self.capacity = capacity
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    def get(self, key: Hashable) -> Optional[Any]:
-        """The cached value for ``key`` (refreshing its recency), or
-        ``None``.  ``None`` is never a legal cached value."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
-
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh ``key``, evicting the LRU entry when full."""
-        if value is None:
-            raise ValueError("None is reserved for cache misses")
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
-
-    def clear(self) -> None:
-        """Drop all entries (statistics are kept)."""
-        self._data.clear()
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
-
-    def info(self) -> Dict[str, Any]:
-        """Occupancy and hit-rate statistics for the ``stats`` verb."""
-        lookups = self.hits + self.misses
-        return {
-            "capacity": self.capacity,
-            "size": len(self._data),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": (self.hits / lookups) if lookups else None,
-        }
-
-    def __repr__(self) -> str:
-        return (f"LRUCache({len(self._data)}/{self.capacity}, "
-                f"hits={self.hits}, misses={self.misses})")

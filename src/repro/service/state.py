@@ -13,6 +13,15 @@ mutating ones run serialised.  It composes three pieces of the library:
 * an :class:`~repro.service.cache.LRUCache` over those analyses, keyed
   by the canonical task-set hash so repeated queries are O(1).
 
+The cache keyspace is shared with the analysis layer: this instance's
+LRU memoises the service-shaped response dicts, while the underlying
+``pd2_min_processors`` / ``edf_ff_min_processors`` calls consult the
+process-wide :data:`repro.analysis.schedulability.ANALYSIS_CACHE` under
+the *same* :func:`~repro.analysis.schedulability.task_set_cache_key`
+digests — so a task set analysed by a campaign (or another service
+instance in this process) is never recomputed from scratch here, and
+vice versa.
+
 Multi-task admission is transactional: the system is snapshotted, the
 joins attempted one by one, and on any failure the snapshot is restored —
 a rejected request leaves no trace (verified down to the committed-weight

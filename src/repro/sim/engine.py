@@ -39,6 +39,8 @@ class EventQueue(Generic[T]):
         return self._heap[0][0] if self._heap else None
 
     def pop(self) -> Tuple[int, T]:
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
         time, _, payload = heapq.heappop(self._heap)
         return time, payload
 

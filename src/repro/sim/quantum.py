@@ -312,8 +312,39 @@ def simulate_pfair(
     processors: int,
     horizon: int,
     policy: Optional[PriorityPolicy] = None,
+    *,
+    fastpath: Optional[bool] = None,
     **kwargs,
 ) -> SimResult:
-    """One-call convenience wrapper: build a simulator and run it."""
-    sim = QuantumSimulator(tasks, processors, policy, **kwargs)
+    """One-call convenience wrapper: build a simulator and run it.
+
+    ``fastpath=None`` (the default) dispatches to the packed-key
+    :class:`~repro.sim.fastpath.FastPD2Simulator` whenever it supports
+    the configuration (periodic tasks, PD² priorities, no arrivals) and
+    the process-wide toggle (:mod:`repro.util.toggles`) is on; the fast
+    path is decision-identical to :class:`QuantumSimulator`.  Pass
+    ``fastpath=False`` (or run with ``--no-fastpath`` /
+    ``REPRO_NO_FASTPATH=1``) to force the reference simulator,
+    ``fastpath=True`` to require the fast path (raises if unsupported).
+    """
+    task_list = list(tasks)
+    if fastpath is None:
+        from ..util.toggles import fastpath_enabled
+
+        fastpath = fastpath_enabled()
+        explicit = False
+    else:
+        explicit = fastpath
+    if fastpath:
+        from .fastpath import FastPD2Simulator, supports
+
+        if supports(task_list, processors, horizon, policy, kwargs):
+            return FastPD2Simulator(task_list, processors, policy,
+                                    **kwargs).run(horizon)
+        if explicit:
+            raise ValueError(
+                "fastpath=True but the configuration is not supported by "
+                "the fast path (see repro.sim.fastpath.supports)"
+            )
+    sim = QuantumSimulator(task_list, processors, policy, **kwargs)
     return sim.run(horizon)

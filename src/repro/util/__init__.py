@@ -1,0 +1,11 @@
+"""Small shared utilities with no domain dependencies.
+
+Lives below every other package (``core``, ``sim``, ``analysis``,
+``service`` all may import it) so that infrastructure like the LRU cache
+and the fast-path toggle can be shared without import cycles.
+"""
+
+from .lru import LRUCache
+from .toggles import fastpath_enabled, set_fastpath
+
+__all__ = ["LRUCache", "fastpath_enabled", "set_fastpath"]

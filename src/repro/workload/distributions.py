@@ -58,7 +58,7 @@ def _rescale_to_total(us: np.ndarray, total: float) -> List[float]:
         under = ~over
         headroom = _U_CAP - us[under]
         us[under] += headroom / headroom.sum() * excess
-    return [float(u) for u in us]
+    return us.tolist()
 
 
 def uniform_simplex_utilizations(rng: np.random.Generator, n: int,
@@ -112,9 +112,13 @@ def log_uniform_periods(rng: np.random.Generator, n: int, *,
     if min_period < quantum:
         raise ValueError("min_period must be at least one quantum")
     lo, hi = math.log(min_period), math.log(max_period)
+    # .tolist() up front: math.exp on a Python float skips the per-call
+    # numpy-scalar conversion.  (np.exp would vectorise but differs from
+    # libm's exp in the last ulp, which would change generated periods.)
+    top = (max_period // quantum) * quantum
+    exp = math.exp
     out: List[int] = []
-    for x in rng.uniform(lo, hi, size=n):
-        p = int(round(math.exp(x) / quantum)) * quantum
-        p = max(quantum, min(p, (max_period // quantum) * quantum))
-        out.append(p)
+    for x in rng.uniform(lo, hi, size=n).tolist():
+        p = int(round(exp(x) / quantum)) * quantum
+        out.append(max(quantum, min(p, top)))
     return out

@@ -35,6 +35,18 @@ __all__ = [
 ]
 
 
+_TASK_NAMES: List[str] = []
+
+
+def _task_names(n: int) -> List[str]:
+    """The shared ``["T0", "T1", ...]`` prefix, grown on demand — one
+    format per distinct index ever needed instead of one per generated
+    task."""
+    while len(_TASK_NAMES) < n:
+        _TASK_NAMES.append(f"T{len(_TASK_NAMES)}")
+    return _TASK_NAMES[:n]
+
+
 class TaskSetGenerator:
     """Seeded generator of random periodic task sets.
 
@@ -89,12 +101,17 @@ class TaskSetGenerator:
             min_period=self.min_period, max_period=self.max_period,
         )
         delays = self.rng.integers(0, self.cache_delay_max + 1, size=n)
-        specs: List[TaskSpec] = []
-        for i, (u, p, d) in enumerate(zip(us, periods, delays)):
-            e = max(1, min(p, int(round(u * p))))
-            specs.append(TaskSpec(execution=e, period=p, name=f"T{i}",
-                                  cache_delay=int(d)))
-        return specs
+        # Vectorised e = max(1, min(p, round(u*p))): np.rint is the same
+        # round-half-to-even as Python's round on float64; .tolist()
+        # yields plain Python ints, skipping a numpy-scalar conversion
+        # per field below.
+        p_arr = np.asarray(periods, dtype=np.int64)
+        e_list = np.clip(np.rint(np.asarray(us) * p_arr).astype(np.int64),
+                         1, p_arr).tolist()
+        names = _task_names(n)
+        return [TaskSpec(execution=e, period=p, name=nm, cache_delay=d)
+                for e, p, nm, d in zip(e_list, periods, names,
+                                       delays.tolist())]
 
 
 def generate_task_set(n: int, total_utilization: float, *, seed: int = 0,

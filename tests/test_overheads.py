@@ -146,6 +146,32 @@ class TestPD2Inflation:
         w16 = pd2_inflate(s, m, 100, 16).weight
         assert w16 >= w1
 
+    def test_set_inflation_lockstep_with_scalar(self):
+        """pd2_inflate_set's inlined fixed point is pinned, field for
+        field (including iteration counts), to per-task pd2_inflate over
+        random sets — the contract its docstring promises."""
+        from repro.workload.generator import TaskSetGenerator
+
+        model = OverheadModel()
+        for seed in range(40):
+            gen = TaskSetGenerator(seed)
+            n = 1 + seed % 30
+            specs = gen.generate(n, 0.1 + 0.4 * n)
+            for m in (1, max(1, n // 2), n + 1):
+                s_pd2 = model.pd2_sched_cost(n, m)
+                assert pd2_inflate_set(specs, model, m) == [
+                    pd2_inflate(s, model, n, m, s_pd2) for s in specs]
+
+    def test_set_inflation_lockstep_zero_model_and_edges(self):
+        z = OverheadModel.zero()
+        specs = [TaskSpec(1, 1000), TaskSpec(999, 1000),
+                 TaskSpec(1000, 1000), TaskSpec(2500, 5000, cache_delay=100)]
+        for m in (1, 2, 8):
+            s_pd2 = z.pd2_sched_cost(len(specs), m)
+            assert pd2_inflate_set(specs, z, m) == [
+                pd2_inflate(s, z, len(specs), m, s_pd2) for s in specs]
+        assert pd2_inflate_set([], z, 4) == []
+
 
 class TestMeasurement:
     def test_pd2_sample_positive(self):
