@@ -2,13 +2,36 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures full-figures examples clean
+.PHONY: install test bench figures full-figures examples clean \
+	staticcheck lint typecheck check
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Domain invariant checker (stdlib-only; always available).
+staticcheck:
+	PYTHONPATH=src $(PYTHON) -m repro.staticcheck src/repro
+
+# ruff/mypy are optional in the dev container; the targets no-op with a
+# notice when the tool is missing so `make check` works everywhere.
+lint: staticcheck
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
+
+check: lint typecheck test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

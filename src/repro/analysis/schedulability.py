@@ -103,7 +103,8 @@ _UNSET = object()  # "caller did not precompute" sentinel (None is a value)
 
 
 def _pd2_analysis(specs: Sequence[TaskSpec], model: OverheadModel,
-                  cap: int, digest=_UNSET, u_total: Optional[Fraction] = None
+                  cap: int, digest: object = _UNSET,
+                  u_total: Optional[Fraction] = None
                   ) -> Tuple[Optional[int], Optional[float], int]:
     """The PD² search, cached: ``(m, inflated total weight at m, max
     fixed-point iterations at m)``, with ``m = None`` when no M up to
@@ -171,7 +172,8 @@ def pd2_min_processors(specs: Sequence[TaskSpec], model: OverheadModel, *,
 
 
 def _edf_ff_analysis(specs: Sequence[TaskSpec], model: OverheadModel,
-                     digest=_UNSET) -> Tuple[Optional[int], Optional[float]]:
+                     digest: object = _UNSET
+                     ) -> Tuple[Optional[int], Optional[float]]:
     """The EDF-FF packing, cached: ``(processors, packed inflated
     utilization)``, both ``None`` on packing failure."""
     ckey = None

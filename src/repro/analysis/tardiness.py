@@ -64,7 +64,8 @@ def tardiness_profile(result: SimResult) -> TardinessProfile:
     return prof
 
 
-def _exact_fill_set(rng, processors: int, max_period: int = 12
+def _exact_fill_set(rng: np.random.Generator, processors: int,
+                    max_period: int = 12
                     ) -> Optional[List[Tuple[int, int]]]:
     pairs: List[Tuple[int, int]] = []
     total = Weight(0, 1)

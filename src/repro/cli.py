@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from .analysis.experiments import run_schedulability_campaign, utilization_grid
 from .analysis.figures import fig1_report, fig3_table, fig4_table, fig5_report
@@ -31,6 +31,9 @@ from .overheads.model import OverheadModel
 from .sim.quantum import simulate_pfair
 from .sim.trace import render_schedule, render_windows
 from .workload.spec import TaskSpec
+
+if TYPE_CHECKING:
+    from .service.client import AdmissionClient
 
 __all__ = ["main"]
 
@@ -48,7 +51,7 @@ def _parse_weight(text: str) -> Tuple[int, int]:
     return e, p
 
 
-def _cmd_windows(args) -> int:
+def _cmd_windows(args: argparse.Namespace) -> int:
     e, p = args.weight
     task = PeriodicTask(e, p, name="T")
     last = args.subtasks if args.subtasks else 2 * e
@@ -62,7 +65,7 @@ def _cmd_windows(args) -> int:
     return 0
 
 
-def _apply_fastpath_flag(args) -> None:
+def _apply_fastpath_flag(args: argparse.Namespace) -> None:
     """Honour ``--no-fastpath``: force reference implementations
     process-wide (campaign workers inherit through the pool initializer)."""
     if getattr(args, "no_fastpath", False):
@@ -71,7 +74,7 @@ def _apply_fastpath_flag(args) -> None:
         set_fastpath(False)
 
 
-def _cmd_schedule(args) -> int:
+def _cmd_schedule(args: argparse.Namespace) -> int:
     _apply_fastpath_flag(args)
     tasks = [PeriodicTask(e, p, name=f"T{i}")
              for i, (e, p) in enumerate(args.weights)]
@@ -92,7 +95,7 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
-def _cmd_compare(args) -> int:
+def _cmd_compare(args: argparse.Namespace) -> int:
     model = OverheadModel()
     if args.file:
         from .workload.io import load_task_set
@@ -115,7 +118,7 @@ def _cmd_compare(args) -> int:
     return 0
 
 
-def _cmd_generate(args) -> int:
+def _cmd_generate(args: argparse.Namespace) -> int:
     from .workload.generator import TaskSetGenerator
     from .workload.io import save_task_set
 
@@ -127,18 +130,19 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_fig1(args) -> int:
+def _cmd_fig1(args: argparse.Namespace) -> int:
     print(fig1_report())
     return 0
 
 
-def _cmd_fig5(args) -> int:
+def _cmd_fig5(args: argparse.Namespace) -> int:
     report, results = fig5_report(horizon=args.horizon)
     print(report)
     return 0
 
 
-def _campaign(args, formatter) -> int:
+def _campaign(args: argparse.Namespace,
+              formatter: Callable[..., str]) -> int:
     _apply_fastpath_flag(args)
     grid = utilization_grid(args.tasks, points=args.points)
     rows = run_schedulability_campaign(
@@ -156,15 +160,15 @@ def _campaign(args, formatter) -> int:
     return 0
 
 
-def _cmd_fig3(args) -> int:
+def _cmd_fig3(args: argparse.Namespace) -> int:
     return _campaign(args, fig3_table)
 
 
-def _cmd_fig4(args) -> int:
+def _cmd_fig4(args: argparse.Namespace) -> int:
     return _campaign(args, fig4_table)
 
 
-def _cmd_serve(args) -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .service.server import AdmissionServer
@@ -190,13 +194,13 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _service_client(args):
+def _service_client(args: argparse.Namespace) -> "AdmissionClient":
     from .service.client import AdmissionClient
 
     return AdmissionClient(args.host, args.port, timeout=args.timeout)
 
 
-def _cmd_admit(args) -> int:
+def _cmd_admit(args: argparse.Namespace) -> int:
     from .service.client import ServiceResponseError
     from .workload.io import load_task_set
 
@@ -238,7 +242,7 @@ def _cmd_admit(args) -> int:
     return 0 if r["admitted"] else 1
 
 
-def _cmd_svc_stats(args) -> int:
+def _cmd_svc_stats(args: argparse.Namespace) -> int:
     import json as _json
 
     try:
@@ -252,8 +256,8 @@ def _cmd_svc_stats(args) -> int:
     return 0
 
 
-def _add_service_commands(sub) -> None:
-    def common(p):
+def _add_service_commands(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--host", default="127.0.0.1")
         p.add_argument("--port", type=int, default=7011,
                        help="service port (default 7011)")
@@ -367,11 +371,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_service_commands(sub)
 
+    # ``repro lint`` is handled before argparse in :func:`main` so that
+    # staticcheck's own options pass through verbatim; register it here
+    # only so it shows in ``repro --help``.
+    sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant checker (repro.staticcheck)",
+        add_help=False)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forward verbatim: argparse's REMAINDER cannot pass through
+        # option-like tokens (e.g. ``repro lint --list-rules``).
+        from .staticcheck.cli import main as staticcheck_main
+
+        return staticcheck_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -2,8 +2,11 @@
 
 This subpackage implements the paper's primary contribution — the PD²
 proportionate-fair scheduler and its relatives (PF, PD, EPDF, ERfair) —
-over exact integer arithmetic.  See :mod:`repro.sim` for the simulators
-that drive these policies.
+over exact integer arithmetic, together with the decision engines that
+drive them (the slot-synchronous :mod:`~repro.core.quantum` engine and
+the event-driven :mod:`~repro.core.uniproc` engine).  See
+:mod:`repro.sim` for the campaign-level simulators layered on top
+(packed-key fast path, hyperperiod caching, staggered/variable quanta).
 """
 
 from .rational import Weight, weight_sum
@@ -34,6 +37,11 @@ from .priority import (
 )
 from .epdf import EPDFScheduler, schedule_epdf
 from .erfair import ERPD2Scheduler, is_work_conserving_run, schedule_erfair
+from .events import EventQueue
+from .metrics import DeadlineMiss, SimStats, TaskStats
+from .quantum import DeadlineMissError, QuantumSimulator, SimResult
+from .trace import Allocation, ScheduleTrace
+from .uniproc import UniprocSimulator, UniTask
 from .lag import LagTracker, ideal_allocation
 from .pd import PDScheduler, schedule_pd
 from .pd2 import PD2Scheduler, schedule_pd2
@@ -72,6 +80,17 @@ __all__ = [
     "schedule_pf",
     "EPDFScheduler",
     "schedule_epdf",
+    "EventQueue",
+    "DeadlineMiss",
+    "SimStats",
+    "TaskStats",
+    "DeadlineMissError",
+    "QuantumSimulator",
+    "SimResult",
+    "Allocation",
+    "ScheduleTrace",
+    "UniprocSimulator",
+    "UniTask",
     "ERPD2Scheduler",
     "schedule_erfair",
     "is_work_conserving_run",

@@ -26,7 +26,7 @@ from __future__ import annotations
 import copy
 from typing import Dict, List, Optional, Tuple
 
-from ..sim.quantum import QuantumSimulator, SimResult
+from .quantum import QuantumSimulator, SimResult
 from .priority import PriorityPolicy
 from .rational import Weight
 from .task import PeriodicTask, PfairTask

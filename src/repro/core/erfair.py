@@ -17,9 +17,9 @@ work) is checked by :func:`is_work_conserving_run`.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable, Optional, Tuple
 
-from ..sim.quantum import SimResult
+from .quantum import SimResult
 from .pd2 import PD2Scheduler
 from .task import PfairTask
 
@@ -31,7 +31,8 @@ class ERPD2Scheduler(PD2Scheduler):
 
     def __init__(self, tasks: Iterable[PfairTask], processors: int, *,
                  trace: bool = False, on_miss: str = "record",
-                 arrivals=None, capacity_fn=None) -> None:
+                 arrivals: Optional[Iterable[Tuple[int, Callable[[], None]]]] = None,
+                 capacity_fn: Optional[Callable[[int], int]] = None) -> None:
         super().__init__(
             tasks, processors, early_release=True, trace=trace,
             on_miss=on_miss, arrivals=arrivals, capacity_fn=capacity_fn,

@@ -1,0 +1,58 @@
+"""Minimal discrete-event core shared by the event-driven simulators.
+
+The quantum (Pfair) simulator is slot-synchronous and does not need this;
+the uniprocessor EDF/RM simulator and the global-EDF/RM simulator are
+event-driven (releases, completions, budget exhaustions) and share this
+tiny time-ordered event queue.  Events are ``(time, seq, payload)`` with a
+monotonically increasing sequence number so payloads never need to be
+comparable and simultaneous events pop in insertion order (deterministic
+replays matter for tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue(Generic[T]):
+    """A deterministic time-ordered event heap."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, T]] = []
+        self._seq = 0
+
+    def push(self, time: int, payload: T) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be nonnegative, got {time}")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, payload))
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Tuple[int, T]:
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def pop_at(self, time: int) -> List[T]:
+        """Pop and return every payload whose event time equals ``time``."""
+        out: List[T] = []
+        while self._heap and self._heap[0][0] == time:
+            out.append(heapq.heappop(self._heap)[2])
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -6,7 +6,7 @@ subtasks to schedule — excess demand becomes *future* subtasks whose
 deadlines lie further out (exactly the IS treatment of early packet
 arrivals), and every other task's windows are untouched.  EDF needs an
 added mechanism (e.g. the constant-bandwidth server of
-:class:`repro.sim.uniproc.CBSServer`) to get the same guarantee.
+:class:`repro.core.uniproc.CBSServer`) to get the same guarantee.
 
 This module provides the experiment used by the example and the tests:
 
@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from ..sim.quantum import QuantumSimulator
-from ..sim.uniproc import CBSServer, UniprocSimulator, UniTask
+from .quantum import QuantumSimulator
+from .uniproc import CBSServer, UniprocSimulator, UniTask
 from .task import IntraSporadicTask, PeriodicTask
 
 __all__ = [

@@ -1,6 +1,6 @@
 """Packed PD² priority keys: the whole tie-break chain in one integer.
 
-The reference ready queue (:class:`~repro.sim.quantum.QuantumSimulator`)
+The reference ready queue (:class:`~repro.core.quantum.QuantumSimulator`)
 is a heap of tuples ``(deadline, 1 - b, -D, task_id, index)`` built by
 :meth:`~repro.core.priority.PD2Priority.key`.  Every push/pop compares
 tuples element by element and every activation allocates a fresh tuple.
@@ -50,9 +50,12 @@ id and phase), making key generation two integer operations per subtask.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Tuple
 
 from .subtask import window_table
+
+if TYPE_CHECKING:
+    from .task import PeriodicTask
 
 __all__ = [
     "IDX_BITS",
@@ -196,13 +199,13 @@ class TaskKeyTable:
         return self.rel[j] + q * self.period
 
 
-def task_key_table(task) -> TaskKeyTable:
+def task_key_table(task: "PeriodicTask") -> TaskKeyTable:
     """Build the :class:`TaskKeyTable` of a synchronous periodic task."""
     return TaskKeyTable(task.execution, task.period, task.task_id,
                         getattr(task, "phase", 0))
 
 
-def check_capacity(tasks, horizon: int) -> bool:
+def check_capacity(tasks: "Iterable[PeriodicTask]", horizon: int) -> bool:
     """True when every packed-key field fits for ``tasks`` over ``horizon``.
 
     Overflow is astronomically unlikely at realistic scales (ids beyond

@@ -9,7 +9,7 @@ scheduled with no pseudo-deadline miss, hence with all lags in (−1, 1).
 
 This module is the user-facing entry point for the paper's algorithm:
 :class:`PD2Scheduler` binds the PD² priority policy to the slot-synchronous
-multiprocessor engine (:class:`~repro.sim.quantum.QuantumSimulator`) and
+multiprocessor engine (:class:`~repro.core.quantum.QuantumSimulator`) and
 exposes the knobs the paper discusses — ERfair early releasing (making the
 scheduler work-conserving) and tracing for schedule inspection.
 
@@ -25,9 +25,9 @@ Example
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable, Optional, Tuple
 
-from ..sim.quantum import QuantumSimulator, SimResult
+from .quantum import QuantumSimulator, SimResult
 from .priority import PD2Priority
 from .task import PfairTask
 
@@ -37,15 +37,16 @@ __all__ = ["PD2Scheduler", "schedule_pd2"]
 class PD2Scheduler(QuantumSimulator):
     """The PD² algorithm bound to the quantum simulator.
 
-    Parameters mirror :class:`~repro.sim.quantum.QuantumSimulator` except
+    Parameters mirror :class:`~repro.core.quantum.QuantumSimulator` except
     that the priority policy is fixed to PD².  ``early_release=True``
     selects the ER-PD² variant (work-conserving; still optimal).
     """
 
     def __init__(self, tasks: Iterable[PfairTask], processors: int, *,
                  early_release: bool = False, trace: bool = False,
-                 on_miss: str = "record", arrivals=None,
-                 capacity_fn=None) -> None:
+                 on_miss: str = "record",
+                 arrivals: Optional[Iterable[Tuple[int, Callable[[], None]]]] = None,
+                 capacity_fn: Optional[Callable[[int], int]] = None) -> None:
         super().__init__(
             tasks,
             processors,

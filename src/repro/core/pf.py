@@ -11,9 +11,9 @@ job boundary); see :class:`repro.core.priority.PFPriority`.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable, Optional, Tuple
 
-from ..sim.quantum import QuantumSimulator, SimResult
+from .quantum import QuantumSimulator, SimResult
 from .priority import PFPriority
 from .task import PfairTask
 
@@ -25,8 +25,9 @@ class PFScheduler(QuantumSimulator):
 
     def __init__(self, tasks: Iterable[PfairTask], processors: int, *,
                  early_release: bool = False, trace: bool = False,
-                 on_miss: str = "record", arrivals=None,
-                 capacity_fn=None) -> None:
+                 on_miss: str = "record",
+                 arrivals: Optional[Iterable[Tuple[int, Callable[[], None]]]] = None,
+                 capacity_fn: Optional[Callable[[int], int]] = None) -> None:
         super().__init__(
             tasks, processors, PFPriority(),
             early_release=early_release, trace=trace, on_miss=on_miss,

@@ -33,7 +33,7 @@ deterministic for a given task-id assignment.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Iterator, Tuple
 
 from .task import Subtask
 
@@ -52,7 +52,7 @@ class PriorityPolicy:
     #: Human-readable algorithm name (used in traces and reports).
     name = "base"
 
-    def key(self, subtask: Subtask):
+    def key(self, subtask: Subtask) -> object:
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -125,7 +125,7 @@ class _PFKey:
     def __init__(self, subtask: Subtask) -> None:
         self.subtask = subtask
 
-    def _bits(self):
+    def _bits(self) -> "Iterator[Tuple[int, int]]":
         """Yield (deadline, b-bit) for this subtask and its successors.
 
         Successor parameters use the window-table pattern shifted by the
@@ -153,7 +153,7 @@ class _PFKey:
             # both 1: continue with successors
         raise AssertionError("unreachable: b-bit walk terminates at job boundary")
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, _PFKey):
             return NotImplemented
         a, b = self.subtask, other.subtask

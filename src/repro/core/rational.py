@@ -48,7 +48,7 @@ class Weight:
         object.__setattr__(self, "num", num)
         object.__setattr__(self, "den", den)
 
-    def __setattr__(self, name: str, value) -> None:  # pragma: no cover
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Weight is immutable")
 
     # Immutability makes sharing safe: copies return self, and pickling
@@ -58,10 +58,10 @@ class Weight:
     def __copy__(self) -> "Weight":
         return self
 
-    def __deepcopy__(self, memo) -> "Weight":
+    def __deepcopy__(self, memo: object) -> "Weight":
         return self
 
-    def __reduce__(self):
+    def __reduce__(self) -> "Tuple[type, Tuple[int, int]]":
         return (Weight, (self.num, self.den))
 
     # -- constructors ------------------------------------------------------
@@ -129,14 +129,14 @@ class Weight:
     def _cmp_key(self, other: "Weight") -> Tuple[int, int]:
         return self.num * other.den, other.num * self.den
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, Weight):
             return self.num == other.num and self.den == other.den
         if isinstance(other, int):
             return self.den == 1 and self.num == other
         return NotImplemented
 
-    def __lt__(self, other) -> bool:
+    def __lt__(self, other: object) -> bool:
         if isinstance(other, Weight):
             a, b = self._cmp_key(other)
             return a < b
@@ -144,7 +144,7 @@ class Weight:
             return self.num < other * self.den
         return NotImplemented
 
-    def __le__(self, other) -> bool:
+    def __le__(self, other: object) -> bool:
         if isinstance(other, Weight):
             a, b = self._cmp_key(other)
             return a <= b
@@ -152,11 +152,11 @@ class Weight:
             return self.num <= other * self.den
         return NotImplemented
 
-    def __gt__(self, other) -> bool:
+    def __gt__(self, other: object) -> bool:
         le = self.__le__(other)
         return NotImplemented if le is NotImplemented else not le
 
-    def __ge__(self, other) -> bool:
+    def __ge__(self, other: object) -> bool:
         lt = self.__lt__(other)
         return NotImplemented if lt is NotImplemented else not lt
 
@@ -166,7 +166,9 @@ class Weight:
     # -- conversions -------------------------------------------------------
 
     def __float__(self) -> float:
-        return self.num / self.den
+        # Export-only conversion (plots, JSON); every comparison and
+        # scheduling decision stays on the exact num/den pair.
+        return self.num / self.den  # staticcheck: allow[R001]
 
     def ceil(self) -> int:
         """Smallest integer >= the weight value."""

@@ -39,8 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..sim.metrics import DeadlineMiss
-from ..sim.quantum import QuantumSimulator, SimResult
+from .metrics import DeadlineMiss
+from .quantum import QuantumSimulator, SimResult
 from .priority import PriorityPolicy
 from .rational import Weight, weight_sum
 from .task import PeriodicTask, PfairTask

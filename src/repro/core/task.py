@@ -32,7 +32,7 @@ arrivals) is per-task data and lives here.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from .rational import Weight, weight_sum
 from .subtask import WindowTable, window_table
@@ -322,13 +322,13 @@ class TaskSet:
             return 1
         return lcm(*(t.period for t in self.tasks))
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[PfairTask]":
         return iter(self.tasks)
 
     def __len__(self) -> int:
         return len(self.tasks)
 
-    def __getitem__(self, i):
+    def __getitem__(self, i: int) -> PfairTask:
         return self.tasks[i]
 
     def __repr__(self) -> str:

@@ -1,0 +1,149 @@
+"""Schedule traces and ASCII rendering of windows and schedules.
+
+A :class:`ScheduleTrace` is the full record of who ran where in every slot.
+Long Monte-Carlo campaigns run the simulator with tracing disabled (stats
+only); traces are for tests, validators, and the figure reproductions that
+are literally pictures of schedules (Fig. 1's window diagrams and Fig. 5's
+supertask schedule are reproduced as ASCII art by :func:`render_windows`
+and :func:`render_schedule`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .task import PfairTask
+
+__all__ = ["Allocation", "ScheduleTrace", "render_windows", "render_schedule"]
+
+
+class Allocation(Tuple[int, int, PfairTask, int]):
+    """``(slot, processor, task, subtask_index)`` record."""
+
+    __slots__ = ()
+
+    def __new__(cls, slot: int, processor: int, task: PfairTask,
+                index: int) -> "Allocation":
+        return super().__new__(cls, (slot, processor, task, index))
+
+    @property
+    def slot(self) -> int:
+        return self[0]
+
+    @property
+    def processor(self) -> int:
+        return self[1]
+
+    @property
+    def task(self) -> PfairTask:
+        return self[2]
+
+    @property
+    def subtask_index(self) -> int:
+        return self[3]
+
+
+class ScheduleTrace:
+    """Append-only allocation record with per-slot and per-task views."""
+
+    def __init__(self) -> None:
+        self._by_slot: Dict[int, List[Allocation]] = defaultdict(list)
+        self._by_task: Dict[int, List[Allocation]] = defaultdict(list)
+        self.horizon = 0
+
+    def record(self, slot: int, processor: int, task: PfairTask, index: int) -> None:
+        alloc = Allocation(slot, processor, task, index)
+        self._by_slot[slot].append(alloc)
+        self._by_task[task.task_id].append(alloc)
+        if slot + 1 > self.horizon:
+            self.horizon = slot + 1
+
+    def at(self, slot: int) -> List[Allocation]:
+        """Allocations in ``slot`` (possibly empty)."""
+        return self._by_slot.get(slot, [])
+
+    def of_task(self, task: PfairTask) -> List[Allocation]:
+        """All allocations of ``task``, in slot order."""
+        return self._by_task.get(task.task_id, [])
+
+    def slots_of(self, task: PfairTask) -> List[int]:
+        return [a.slot for a in self.of_task(task)]
+
+    def allocations(self) -> Iterable[Allocation]:
+        for slot in sorted(self._by_slot):
+            yield from self._by_slot[slot]
+
+    def quanta_in(self, task: PfairTask, start: int, end: int) -> int:
+        """Number of quanta allocated to ``task`` in ``[start, end)``."""
+        return sum(1 for a in self.of_task(task) if start <= a.slot < end)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_slot.values())
+
+
+def render_windows(task: PfairTask, first: int = 1, last: Optional[int] = None,
+                   *, scheduled: Optional[Dict[int, int]] = None,
+                   width: Optional[int] = None) -> str:
+    """ASCII picture of subtask windows, one subtask per line (cf. Fig. 1).
+
+    Each line shows subtask ``T_i`` as dashes over its window
+    ``[r(T_i), d(T_i))``; a ``#`` marks the slot where it was scheduled
+    (``scheduled`` maps subtask index to slot).  Example for weight 8/11::
+
+        T1  |--      ...
+        T2  | --     ...
+    """
+    if last is None:
+        last = first + task.execution - 1
+    rows = []
+    subtasks = []
+    for i in range(first, last + 1):
+        st = task.subtask(i)
+        if st is None:
+            break
+        subtasks.append(st)
+    if not subtasks:
+        return "(no subtasks)"
+    end = max(st.deadline for st in subtasks)
+    if width is not None:
+        end = max(end, width)
+    label_w = max(len(f"{task.name}[{st.index}]") for st in subtasks)
+    for st in subtasks:
+        line = [" "] * end
+        for t in range(st.release, st.deadline):
+            line[t] = "-"
+        if scheduled and st.index in scheduled:
+            slot = scheduled[st.index]
+            if 0 <= slot < end:
+                line[slot] = "#"
+        label = f"{task.name}[{st.index}]".ljust(label_w)
+        rows.append(f"{label} |{''.join(line)}|")
+    ruler = " " * label_w + "  " + "".join(
+        str(t % 10) for t in range(end)
+    )
+    rows.append(ruler)
+    return "\n".join(rows)
+
+
+def render_schedule(trace: ScheduleTrace, tasks: Iterable[PfairTask],
+                    horizon: Optional[int] = None) -> str:
+    """ASCII Gantt chart: one row per task, columns are slots (cf. Fig. 5).
+
+    Cells show the processor number the task ran on in that slot, or ``.``
+    when the task was not scheduled.
+    """
+    tasks = list(tasks)
+    if horizon is None:
+        horizon = trace.horizon
+    label_w = max((len(t.name) for t in tasks), default=1)
+    rows = []
+    for task in tasks:
+        cells = ["."] * horizon
+        for a in trace.of_task(task):
+            if a.slot < horizon:
+                cells[a.slot] = str(a.processor % 10)
+        rows.append(f"{task.name.ljust(label_w)} |{''.join(cells)}|")
+    ruler = " " * label_w + "  " + "".join(str(t % 10) for t in range(horizon))
+    rows.append(ruler)
+    return "\n".join(rows)

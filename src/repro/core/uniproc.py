@@ -1,0 +1,434 @@
+"""Event-driven preemptive uniprocessor simulator: EDF, RM, DM, and CBS.
+
+This is the per-processor substrate of the EDF-FF partitioning approach the
+paper compares against (Sec. 3), and the vehicle for two of its qualitative
+arguments:
+
+* **Scheduling overhead** (Fig. 2(a)): each scheduler invocation — moving a
+  newly arrived or preempted job into the binary-heap ready queue and
+  choosing the next job — can be timed (``time_invocations=True``), giving
+  the per-invocation cost series the paper plots.
+* **Temporal isolation** (Sec. 5.3): jobs may *overrun* their declared
+  worst-case execution time (``actual_exec``), which under plain EDF makes
+  innocent tasks miss deadlines; wrapping the misbehaving workload in a
+  :class:`CBSServer` (Abeni & Buttazzo's constant-bandwidth server) pushes
+  the overrun into the server's future budget instead — the mechanism the
+  paper notes EDF needs *in addition* to match Pfair's built-in isolation.
+
+Time is integer ticks (think microseconds); the simulator is event-driven —
+releases, completions, and CBS budget exhaustions are the only points where
+anything changes, so cost is O(events · log N), independent of tick
+resolution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import EventQueue
+
+__all__ = [
+    "UniTask",
+    "UniJob",
+    "CBSServer",
+    "UniprocResult",
+    "UniprocSimulator",
+    "simulate_uniproc",
+]
+
+
+class UniTask:
+    """A periodic or sporadic uniprocessor task (job-level, not quantum).
+
+    ``wcet`` and ``period`` are integers in ticks; the relative deadline
+    defaults to the period (implicit deadlines, as the paper assumes).
+    Explicit ``releases`` turn the task sporadic: jobs are released exactly
+    at those times (which must be separated by at least ``period``).
+    ``actual_exec(job_index)`` may return a per-job execution time
+    different from the WCET to model overruns or early completions.
+    """
+
+    _ids = iter(range(1, 10**9))
+
+    def __init__(self, wcet: int, period: int, *, deadline: Optional[int] = None,
+                 phase: int = 0, name: Optional[str] = None,
+                 releases: Optional[Sequence[int]] = None,
+                 actual_exec: Optional[Callable[[int], int]] = None) -> None:
+        if wcet <= 0 or period <= 0:
+            raise ValueError("wcet and period must be positive")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self.wcet = wcet
+        self.period = period
+        self.deadline = period if deadline is None else deadline
+        self.phase = phase
+        self.task_id = next(self._ids)
+        self.name = name or f"J{self.task_id}"
+        self.releases = list(releases) if releases is not None else None
+        if self.releases is not None:
+            for a, b in zip(self.releases, self.releases[1:]):
+                if b - a < period:
+                    raise ValueError(
+                        f"{self.name}: sporadic releases closer than the period"
+                    )
+        self.actual_exec = actual_exec
+
+    @property
+    def utilization(self) -> float:
+        # Reporting-only ratio; admission tests compare exact products.
+        return self.wcet / self.period  # staticcheck: allow[R001]
+
+    def release_time(self, job_index: int) -> Optional[int]:
+        """Absolute release of 1-based ``job_index``; ``None`` past the end
+        of an explicit release list."""
+        if self.releases is not None:
+            if job_index > len(self.releases):
+                return None
+            return self.releases[job_index - 1]
+        return self.phase + (job_index - 1) * self.period
+
+    def exec_time(self, job_index: int) -> int:
+        if self.actual_exec is not None:
+            e = self.actual_exec(job_index)
+            if e <= 0:
+                raise ValueError(f"{self.name}: job {job_index} exec time {e} <= 0")
+            return e
+        return self.wcet
+
+    def __repr__(self) -> str:
+        return f"UniTask({self.name}, e={self.wcet}, p={self.period})"
+
+
+class UniJob:
+    """One released job.
+
+    ``deadline`` overrides the task-relative deadline with an explicit
+    absolute one — how Total-Bandwidth-Server jobs carry their assigned
+    deadlines (see :mod:`repro.sim.servers`).
+    """
+
+    __slots__ = ("task", "index", "release", "abs_deadline", "remaining", "exec_total")
+
+    def __init__(self, task: UniTask, index: int, release: int, exec_total: int,
+                 *, deadline: Optional[int] = None) -> None:
+        self.task = task
+        self.index = index
+        self.release = release
+        self.abs_deadline = release + task.deadline if deadline is None else deadline
+        self.remaining = exec_total
+        self.exec_total = exec_total
+
+    def __repr__(self) -> str:
+        return f"UniJob({self.task.name}#{self.index} rem={self.remaining})"
+
+
+class CBSServer:
+    """Constant-bandwidth server (Abeni & Buttazzo 1998), EDF-schedulable.
+
+    Serves a FIFO stream of *requests* ``(arrival, exec_time)`` with budget
+    ``Q`` per server period ``T``: whenever the budget is exhausted it is
+    recharged to ``Q`` and the server deadline is postponed by ``T``, so a
+    misbehaving workload consumes only its reserved bandwidth ``Q/T`` and
+    overruns are pushed into the server's own future — other tasks' EDF
+    guarantees are untouched.
+    """
+
+    _ids = iter(range(10**9, 2 * 10**9))
+
+    def __init__(self, budget: int, period: int, *, name: Optional[str] = None,
+                 requests: Sequence[Tuple[int, int]] = ()) -> None:
+        if budget <= 0 or period <= 0 or budget > period:
+            raise ValueError("need 0 < budget <= period")
+        self.budget_max = budget
+        self.period = period
+        self.task_id = next(self._ids)
+        self.name = name or f"CBS{self.task_id}"
+        self.requests = sorted(requests)
+        self.c = budget          # remaining budget
+        self.d = 0               # current absolute server deadline
+        self.queue: List[List[int]] = []  # [remaining] per admitted request
+        self.served = 0
+        self.recharges = 0
+
+    @property
+    def utilization(self) -> float:
+        # Reporting-only ratio; CBS replenishment stays on integers.
+        return self.budget_max / self.period  # staticcheck: allow[R001]
+
+    def on_arrival(self, now: int, exec_time: int) -> None:
+        """CBS admission rule: if the current (c, d) pair cannot cover the
+        new work at the reserved bandwidth, replenish and postpone."""
+        if not self.queue:
+            # c >= (d - now) * Q/T  <=>  c*T >= (d - now)*Q  (exact integers)
+            if self.c * self.period >= (self.d - now) * self.budget_max:
+                self.d = now + self.period
+                self.c = self.budget_max
+        self.queue.append([exec_time])
+
+    def time_to_decision(self) -> int:
+        """Ticks until completion of the head request or budget exhaustion."""
+        return min(self.queue[0][0], self.c)
+
+    def execute(self, dt: int) -> None:
+        self.queue[0][0] -= dt
+        self.c -= dt
+
+    def decide(self) -> bool:
+        """Handle a decision point; returns True if the server needs to be
+        re-queued with a new deadline (budget recharge)."""
+        if self.queue and self.queue[0][0] == 0:
+            self.queue.pop(0)
+            self.served += 1
+        if self.c == 0:
+            self.c = self.budget_max
+            self.d += self.period
+            self.recharges += 1
+            return True
+        return False
+
+    @property
+    def active(self) -> bool:
+        return bool(self.queue)
+
+
+@dataclass
+class UniprocResult:
+    """Outcome of one uniprocessor run."""
+
+    horizon: int
+    policy: str
+    completed: int = 0
+    preemptions: int = 0
+    dispatches: int = 0
+    invocations: int = 0
+    sched_ns_total: int = 0
+    #: (task name, job index, abs deadline, completion or None)
+    misses: List[Tuple[str, int, int, Optional[int]]] = field(default_factory=list)
+    response_max: Dict[str, int] = field(default_factory=dict)
+    response_sum: Dict[str, int] = field(default_factory=dict)
+    response_count: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.misses)
+
+    @property
+    def mean_invocation_ns(self) -> float:
+        # Reporting-only means; nothing downstream schedules off them.
+        return self.sched_ns_total / self.invocations if self.invocations else 0.0  # staticcheck: allow[R001]
+
+    def mean_response(self, name: str) -> float:
+        n = self.response_count.get(name, 0)
+        return self.response_sum.get(name, 0) / n if n else 0.0  # staticcheck: allow[R001]
+
+
+_EDF, _RM, _DM = "edf", "rm", "dm"
+
+
+class UniprocSimulator:
+    """Preemptive uniprocessor scheduling of :class:`UniTask` jobs and
+    :class:`CBSServer` instances under EDF, RM, or DM."""
+
+    def __init__(self, tasks: Iterable[UniTask], *, policy: str = _EDF,
+                 servers: Iterable[CBSServer] = (),
+                 jobs: Iterable[UniJob] = (),
+                 time_invocations: bool = False) -> None:
+        policy = policy.lower()
+        if policy not in (_EDF, _RM, _DM):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.tasks = list(tasks)
+        self.servers = list(servers)
+        #: Explicit pre-built jobs (e.g. TBS-served aperiodic requests with
+        #: assigned deadlines) released at their own times.
+        self.jobs = list(jobs)
+        if self.servers and policy != _EDF:
+            raise ValueError("CBS servers require the EDF policy")
+        if self.jobs and policy != _EDF:
+            raise ValueError("explicit deadline-carrying jobs require EDF")
+        self.policy = policy
+        self.time_invocations = time_invocations
+
+    # -- priority keys ------------------------------------------------------
+
+    def _job_key(self, job: UniJob) -> Tuple[int, int, int]:
+        if self.policy == _EDF:
+            return (job.abs_deadline, job.task.task_id, job.index)
+        if self.policy == _RM:
+            return (job.task.period, job.task.task_id, job.index)
+        return (job.task.deadline, job.task.task_id, job.index)
+
+    def _server_key(self, server: CBSServer) -> Tuple[int, int, int]:
+        return (server.d, server.task_id, server.recharges)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, horizon: int) -> UniprocResult:
+        res = UniprocResult(horizon=horizon, policy=self.policy)
+        events: EventQueue = EventQueue()
+        # Seed first job release per task and all server request arrivals.
+        for task in self.tasks:
+            r = task.release_time(1)
+            if r is not None and r < horizon:
+                events.push(r, ("release", task, 1))
+        for server in self.servers:
+            for arrival, exec_time in server.requests:
+                if arrival < horizon:
+                    events.push(arrival, ("request", server, exec_time))
+        for job in self.jobs:
+            if job.release < horizon:
+                events.push(job.release, ("job", job))
+
+        ready: List[Tuple[Tuple[int, int, int], int, object]] = []
+        seq = 0
+        stale: Dict[int, Tuple[int, int, int]] = {}  # server id -> current key
+        running: Optional[object] = None
+        now = 0
+
+        def push_ready(entity: object) -> None:
+            nonlocal seq
+            seq += 1
+            if isinstance(entity, CBSServer):
+                key = self._server_key(entity)
+                stale[entity.task_id] = key
+            else:
+                key = self._job_key(entity)
+            heapq.heappush(ready, (key, seq, entity))
+
+        def pop_ready() -> Optional[object]:
+            while ready:
+                key, _, entity = heapq.heappop(ready)
+                if isinstance(entity, CBSServer):
+                    if stale.get(entity.task_id) != key or not entity.active:
+                        continue
+                return entity
+            return None
+
+        def peek_key() -> Optional[Tuple[int, int, int]]:
+            while ready:
+                key, _, entity = ready[0]
+                if isinstance(entity, CBSServer) and (
+                        stale.get(entity.task_id) != key or not entity.active):
+                    heapq.heappop(ready)
+                    continue
+                return key
+            return None
+
+        def running_key() -> Tuple[int, int, int]:
+            if isinstance(running, CBSServer):
+                return self._server_key(running)
+            return self._job_key(running)
+
+        def time_to_decision(entity: object) -> int:
+            if isinstance(entity, CBSServer):
+                return entity.time_to_decision()
+            return entity.remaining
+
+        def complete_job(job: UniJob, at: int) -> None:
+            res.completed += 1
+            resp = at - job.release
+            name = job.task.name
+            res.response_max[name] = max(res.response_max.get(name, 0), resp)
+            res.response_sum[name] = res.response_sum.get(name, 0) + resp
+            res.response_count[name] = res.response_count.get(name, 0) + 1
+            if at > job.abs_deadline:
+                res.misses.append((name, job.index, job.abs_deadline, at))
+
+        while True:
+            next_event = events.peek_time()
+            decision_at = now + time_to_decision(running) if running is not None else None
+            candidates = [c for c in (next_event, decision_at) if c is not None]
+            if not candidates:
+                break
+            nxt = min(candidates)
+            if nxt >= horizon:
+                if running is not None and horizon > now:
+                    dt = horizon - now
+                    if isinstance(running, CBSServer):
+                        running.execute(dt)
+                    else:
+                        running.remaining -= dt
+                now = horizon
+                break
+            if running is not None and nxt > now:
+                dt = nxt - now
+                if isinstance(running, CBSServer):
+                    running.execute(dt)
+                else:
+                    running.remaining -= dt
+            now = nxt
+
+            # Opt-in measurement of *real* scheduler cost (overheads
+            # calibration); never read unless time_invocations is set,
+            # and never part of a scheduling decision.
+            t0 = _time.perf_counter_ns() if self.time_invocations else 0  # staticcheck: allow[R002]
+
+            # 1. Decision point for the running entity?
+            if running is not None and time_to_decision(running) == 0:
+                if isinstance(running, CBSServer):
+                    needs_requeue = running.decide()
+                    if needs_requeue and running.active:
+                        push_ready(running)
+                        running = None
+                    elif not running.active:
+                        running = None
+                    # else: keep running with refreshed head request
+                else:
+                    complete_job(running, now)
+                    running = None
+
+            # 2. Releases and request arrivals at this instant.
+            for payload in events.pop_at(now):
+                kind = payload[0]
+                if kind == "release":
+                    _, task, index = payload
+                    job = UniJob(task, index, now, task.exec_time(index))
+                    push_ready(job)
+                    nxt_rel = task.release_time(index + 1)
+                    if nxt_rel is not None and nxt_rel < horizon:
+                        events.push(nxt_rel, ("release", task, index + 1))
+                elif kind == "job":
+                    push_ready(payload[1])
+                else:  # request
+                    _, server, exec_time = payload
+                    was_active = server.active
+                    server.on_arrival(now, exec_time)
+                    if not was_active and running is not server:
+                        push_ready(server)
+
+            # 3. Pick the highest-priority entity.
+            top = peek_key()
+            if top is not None and (running is None or top < running_key()):
+                if running is not None:
+                    res.preemptions += 1
+                    push_ready(running)
+                running = pop_ready()
+                res.dispatches += 1
+
+            if self.time_invocations:
+                res.sched_ns_total += _time.perf_counter_ns() - t0  # staticcheck: allow[R002]
+                res.invocations += 1
+
+        # Jobs never completed whose deadlines fell inside the horizon.
+        leftovers: List[UniJob] = []
+        if running is not None and not isinstance(running, CBSServer):
+            leftovers.append(running)
+        for key, _, entity in ready:
+            if isinstance(entity, CBSServer):
+                continue
+            leftovers.append(entity)
+        for job in leftovers:
+            if job.abs_deadline <= horizon and job.remaining > 0:
+                res.misses.append((job.task.name, job.index, job.abs_deadline, None))
+        return res
+
+
+def simulate_uniproc(tasks: Iterable[UniTask], horizon: int, *,
+                     policy: str = "edf", servers: Iterable[CBSServer] = (),
+                     time_invocations: bool = False) -> UniprocResult:
+    """One-call convenience wrapper over :class:`UniprocSimulator`."""
+    sim = UniprocSimulator(tasks, policy=policy, servers=servers,
+                           time_invocations=time_invocations)
+    return sim.run(horizon)

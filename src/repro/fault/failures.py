@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from ..core.rational import Weight, weight_sum
 from ..core.task import PfairTask
@@ -44,7 +44,8 @@ class FailureEvent:
             raise ValueError("failures need time >= 0 and count >= 1")
 
 
-def _capacity_fn(processors: int, failures: Sequence[FailureEvent]):
+def _capacity_fn(processors: int, failures: Sequence[FailureEvent]
+                 ) -> Callable[[int], int]:
     events = sorted(failures, key=lambda f: f.time)
 
     def capacity(t: int) -> int:
@@ -105,5 +106,6 @@ def plan_reweighting(tasks: Sequence[PfairTask], critical: Iterable[str],
         [t.weight for t in crit]
         + [Weight.of_task(e, p) for (e, p) in out.values()]
     )
-    assert total <= capacity, "period stretching cannot overshoot capacity"
+    if total > capacity:
+        raise RuntimeError("period stretching cannot overshoot capacity")
     return out

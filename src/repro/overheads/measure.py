@@ -22,7 +22,7 @@ from typing import Optional
 
 from ..core.pd2 import PD2Scheduler
 from ..workload.generator import TaskSetGenerator, specs_to_uni_tasks
-from ..sim.uniproc import UniprocSimulator
+from ..core.uniproc import UniprocSimulator
 
 __all__ = ["OverheadSample", "measure_pd2_overhead", "measure_edf_overhead"]
 

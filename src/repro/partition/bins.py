@@ -11,7 +11,7 @@ preemption delay among resident tasks, which inflates every *later*
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from ..workload.spec import TaskSpec
 
@@ -103,7 +103,7 @@ class Partition:
                 return b
         return None
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[ProcessorBin]":
         return iter(self.bins)
 
     def __repr__(self) -> str:

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
+from fractions import Fraction
 
 from ..workload.spec import TaskSpec
 from .accept import AcceptanceTest, EDFUtilizationTest
-from .bins import Partition
+from .bins import Partition, ProcessorBin
 
 __all__ = [
     "PLACEMENTS",
@@ -86,14 +87,18 @@ ORDERINGS: dict = {
 }
 
 
-def _place_ff(bins, admissions):
+def _place_ff(bins: "Sequence[ProcessorBin]",
+            admissions: "Sequence[Optional[Fraction]]"
+            ) -> "Optional[Tuple[ProcessorBin, Fraction]]":
     for b, u in zip(bins, admissions):
         if u is not None:
             return b, u
     return None
 
 
-def _place_bf(bins, admissions):
+def _place_bf(bins: "Sequence[ProcessorBin]",
+            admissions: "Sequence[Optional[Fraction]]"
+            ) -> "Optional[Tuple[ProcessorBin, Fraction]]":
     best = None
     for b, u in zip(bins, admissions):
         if u is None:
@@ -104,7 +109,9 @@ def _place_bf(bins, admissions):
     return (best[0], best[1]) if best else None
 
 
-def _place_wf(bins, admissions):
+def _place_wf(bins: "Sequence[ProcessorBin]",
+            admissions: "Sequence[Optional[Fraction]]"
+            ) -> "Optional[Tuple[ProcessorBin, Fraction]]":
     best = None
     for b, u in zip(bins, admissions):
         if u is None:
@@ -115,7 +122,9 @@ def _place_wf(bins, admissions):
     return (best[0], best[1]) if best else None
 
 
-def _place_nf(bins, admissions):
+def _place_nf(bins: "Sequence[ProcessorBin]",
+            admissions: "Sequence[Optional[Fraction]]"
+            ) -> "Optional[Tuple[ProcessorBin, Fraction]]":
     if bins:
         b, u = bins[-1], admissions[-1]
         if u is not None:
@@ -190,21 +199,21 @@ def partition(specs: Sequence[TaskSpec], *,
     return PartitionResult(partition=part, order=tuple(s.name for s in ordered))
 
 
-def first_fit(specs: Sequence[TaskSpec], **kw) -> PartitionResult:
+def first_fit(specs: Sequence[TaskSpec], **kw: object) -> PartitionResult:
     """First fit in the given order (the paper's FF)."""
     return partition(specs, placement="ff", **kw)
 
 
-def best_fit(specs: Sequence[TaskSpec], **kw) -> PartitionResult:
+def best_fit(specs: Sequence[TaskSpec], **kw: object) -> PartitionResult:
     """Best fit: minimal spare capacity after the addition (the paper's BF)."""
     return partition(specs, placement="bf", **kw)
 
 
-def worst_fit(specs: Sequence[TaskSpec], **kw) -> PartitionResult:
+def worst_fit(specs: Sequence[TaskSpec], **kw: object) -> PartitionResult:
     """Worst fit: maximal spare capacity after the addition."""
     return partition(specs, placement="wf", **kw)
 
 
-def next_fit(specs: Sequence[TaskSpec], **kw) -> PartitionResult:
+def next_fit(specs: Sequence[TaskSpec], **kw: object) -> PartitionResult:
     """Next fit: only the most recently opened bin is considered."""
     return partition(specs, placement="nf", **kw)

@@ -24,7 +24,7 @@ belt-and-braces matching).
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable, Dict, Optional
+from typing import Any, Awaitable, Callable, Dict, List, Optional
 
 from .metrics import MetricsRegistry
 from .protocol import ProtocolError, decode_line, encode, error_response
@@ -107,7 +107,7 @@ class ConnectionPipeline:
                 pass
             self.done.set()
 
-    async def _serve_batch(self, batch) -> None:
+    async def _serve_batch(self, batch: "List[bytes]") -> None:
         responses = []
         for raw in batch:
             try:

@@ -21,6 +21,7 @@ answered ``ok: false`` — callers that want the raw envelope use
 from __future__ import annotations
 
 import socket
+import asyncio
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..workload.spec import TaskSpec
@@ -170,7 +171,8 @@ class AdmissionClient(_VerbMixin):
 class AsyncAdmissionClient(_VerbMixin):
     """Asyncio JSON-lines client; one instance per connection."""
 
-    def __init__(self, reader, writer) -> None:
+    def __init__(self, reader: "asyncio.StreamReader",
+                 writer: "asyncio.StreamWriter") -> None:
         self._reader = reader
         self._writer = writer
         self._next_id = 0

@@ -39,7 +39,7 @@ points in time is determined by a small amount of boundary state:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +47,9 @@ from ..core.keytab import unpack_key
 from ..core.task import PfairTask
 from ..util.lru import LRUCache
 from .trace import ScheduleTrace
+
+if TYPE_CHECKING:
+    from ..core.quantum import QuantumSimulator
 
 __all__ = [
     "CacheModel",
@@ -146,7 +149,7 @@ class CacheModel:
 HYPERPERIOD_CACHE = LRUCache(capacity=256)
 
 
-def hyperperiod_cache_key(sim) -> tuple:
+def hyperperiod_cache_key(sim: "QuantumSimulator") -> tuple:
     """Normalized identity of a simulation configuration.
 
     Everything the slot-to-slot evolution depends on, with task identity
@@ -206,7 +209,7 @@ class HyperperiodMemo:
     #: Boundaries sampled before giving up on finding a cycle.
     MAX_BOUNDARIES = 16
 
-    def __init__(self, sim, hyperperiod: int) -> None:
+    def __init__(self, sim: "QuantumSimulator", hyperperiod: int) -> None:
         self.sim = sim
         self.H = hyperperiod
         self.next_boundary = hyperperiod

@@ -84,6 +84,6 @@ def result_to_dict(result: SimResult) -> Dict[str, Any]:
     return out
 
 
-def result_to_json(result: SimResult, **dumps_kwargs) -> str:
+def result_to_json(result: SimResult, **dumps_kwargs: object) -> str:
     """JSON text of :func:`result_to_dict`."""
     return json.dumps(result_to_dict(result), **dumps_kwargs)

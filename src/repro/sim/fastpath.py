@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from math import lcm
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.keytab import (
     GD_BITS,
@@ -126,8 +126,8 @@ class FastPD2Simulator:
         early_release: bool = False,
         trace: bool = False,
         on_miss: str = "record",
-        arrivals=None,
-        capacity_fn=None,
+        arrivals: Optional[Iterable[Tuple[int, Callable[[], None]]]] = None,
+        capacity_fn: Optional[Callable[[int], int]] = None,
         preserve_affinity: bool = True,
         hyperperiod_memo: bool = True,
     ) -> None:

@@ -1,310 +1,25 @@
-"""Slot-synchronous M-processor simulator for Pfair scheduling algorithms.
+"""Front end of the slot-synchronous engine.
 
-This is the substrate every Pfair experiment in the paper runs on: time
-advances in unit quanta (slots); in each slot the scheduler picks at most
-one subtask per processor from a single system-wide ready queue; a task may
-run on different processors in different slots (migration) but never on two
-processors in the same slot (no intra-task parallelism) — exactly the model
-of Sec. 2 of the paper.
-
-Design notes (see DESIGN.md §6):
-
-* The ready queue is a binary heap of priority keys — the same data
-  structure the authors used for the Fig. 2 overhead measurements.
-* Subtask releases are *event driven*: each task has at most one live
-  subtask in the system (its earliest unscheduled one — subtasks of a task
-  execute in index order, so no other could run anyway), and scheduling a
-  subtask activates its successor.  Per-slot cost is O(M log N) plus
-  arrivals, independent of the number of tasks with no work pending.
-* Processor assignment preserves affinity: a task scheduled in consecutive
-  slots keeps its processor (the observation behind the paper's
-  ``1 + min(E-1, P-E)`` preemption bound), and otherwise prefers the
-  processor it last ran on, so the migration counts reported by
-  :class:`~repro.sim.metrics.SimStats` reflect the paper's accounting.
-
-Dynamic behaviour — sporadic/IS arrivals, tasks joining and leaving — is
-fed in through ``arrivals``: a list of ``(time, callback)`` pairs applied
-at the start of the given slot (callbacks typically call
-``SporadicTask.release_job`` or ``IntraSporadicTask.arrive``, or register a
-join/leave via :mod:`repro.core.dynamic`).  Processor failures are modelled
-with ``capacity_fn`` mapping a slot to the number of live processors.
+The engine itself — :class:`~repro.core.quantum.QuantumSimulator` — lives
+in :mod:`repro.core.quantum`: it *is* the decision procedure the paper's
+argument rests on (PD² is defined by what the engine does each slot), so
+the layering pass (rule R003) homes it in ``core`` beneath the
+campaign-level simulators.  What belongs at the ``sim`` layer is the
+dispatch between decision-identical implementations: ``simulate_pfair``
+picks the packed-key fast path (:mod:`repro.sim.fastpath`) when it
+supports the configuration and the reference engine otherwise.  The
+historical ``repro.sim.quantum`` import path keeps working for both.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional
 
-from ..core.priority import PD2Priority, PriorityPolicy
-from ..core.task import PfairTask, Subtask
-from .metrics import DeadlineMiss, SimStats
-from .trace import ScheduleTrace
+from ..core.priority import PriorityPolicy
+from ..core.quantum import DeadlineMissError, QuantumSimulator, SimResult
+from ..core.task import PfairTask
 
 __all__ = ["QuantumSimulator", "SimResult", "DeadlineMissError", "simulate_pfair"]
-
-
-class DeadlineMissError(Exception):
-    """Raised when ``on_miss='raise'`` and a pseudo-deadline is violated."""
-
-    def __init__(self, miss: DeadlineMiss) -> None:
-        self.miss = miss
-        super().__init__(
-            f"{miss.task.name}[{miss.subtask_index}] missed pseudo-deadline "
-            f"{miss.deadline} (completed at {miss.completed_at})"
-        )
-
-
-@dataclass
-class SimResult:
-    """Outcome of one simulation run."""
-
-    stats: SimStats
-    trace: Optional[ScheduleTrace]
-    horizon: int
-    processors: int
-    policy_name: str
-    tasks: Sequence[PfairTask]
-
-    @property
-    def missed(self) -> bool:
-        return bool(self.stats.misses)
-
-
-class _Stalled:
-    """A task whose next subtask's arrival is not yet known."""
-
-    __slots__ = ("task", "index", "lower_bound")
-
-    def __init__(self, task: PfairTask, index: int, lower_bound: int) -> None:
-        self.task = task
-        self.index = index
-        self.lower_bound = lower_bound
-
-
-class QuantumSimulator:
-    """Drives a Pfair priority policy over unit quanta on M processors."""
-
-    def __init__(
-        self,
-        tasks: Iterable[PfairTask],
-        processors: int,
-        policy: Optional[PriorityPolicy] = None,
-        *,
-        early_release: bool = False,
-        trace: bool = False,
-        on_miss: str = "record",
-        arrivals: Optional[Iterable[Tuple[int, Callable[[], None]]]] = None,
-        capacity_fn: Optional[Callable[[int], int]] = None,
-        preserve_affinity: bool = True,
-    ) -> None:
-        if processors < 1:
-            raise ValueError("need at least one processor")
-        if on_miss not in ("record", "raise"):
-            raise ValueError(f"on_miss must be 'record' or 'raise', got {on_miss!r}")
-        self.tasks: List[PfairTask] = list(tasks)
-        self.processors = processors
-        self.policy = policy if policy is not None else PD2Priority()
-        self.early_release = early_release
-        self.on_miss = on_miss
-        self.capacity_fn = capacity_fn
-        #: When False, processors are assigned lowest-free-first with no
-        #: regard to where a task last ran — the ablation baseline that
-        #: quantifies how much the affinity heuristic saves in migrations.
-        self.preserve_affinity = preserve_affinity
-        self.trace: Optional[ScheduleTrace] = ScheduleTrace() if trace else None
-        self.stats = SimStats()
-        self._arrivals: List[Tuple[int, int, Callable[[], None]]] = []
-        if arrivals is not None:
-            for seq, (time, cb) in enumerate(arrivals):
-                self._arrivals.append((time, seq, cb))
-            heapq.heapify(self._arrivals)
-        # (eligible, seq, subtask): known subtasks waiting to become eligible.
-        self._pending: List[Tuple[int, int, Subtask]] = []
-        # (key, seq, subtask): eligible subtasks, heap-ordered by policy key.
-        self._ready: List[Tuple[object, int, Subtask]] = []
-        self._stalled: Dict[int, _Stalled] = {}
-        self._seq = 0
-        #: Index of the most recently scheduled subtask per task id (0 if
-        #: never scheduled) — needed by the dynamic leave rules, which are
-        #: stated in terms of the last-scheduled subtask.
-        self.last_scheduled_index: Dict[int, int] = {}
-        for task in self.tasks:
-            self._activate(task, 1, lower_bound=0)
-
-    def add_task(self, task: PfairTask, now: int = 0) -> None:
-        """Admit ``task`` into a (possibly running) simulation.
-
-        The caller is responsible for admission control (Eq. (2)); see
-        :mod:`repro.core.dynamic`.  The task's first subtask must not be
-        eligible before ``now``.
-        """
-        self.tasks.append(task)
-        self._activate(task, 1, lower_bound=now)
-
-    # -- internals -----------------------------------------------------------
-
-    def _activate(self, task: PfairTask, index: int, lower_bound: int) -> None:
-        """Bring subtask ``index`` of ``task`` into the system, eligible no
-        earlier than ``lower_bound``."""
-        st = task.subtask(index)
-        if st is None:
-            # Arrival unknown (sporadic/IS) or the task has left the system.
-            if task.last_subtask is None or index <= task.last_subtask:
-                self._stalled[task.task_id] = _Stalled(task, index, lower_bound)
-            return
-        eligible = max(st.eligible, lower_bound)
-        self._seq += 1
-        self._pending_push(eligible, st)
-
-    def _pending_push(self, eligible: int, st: Subtask) -> None:
-        heapq.heappush(self._pending, (eligible, self._seq, st))
-
-    def _drain_arrivals(self, now: int) -> None:
-        while self._arrivals and self._arrivals[0][0] <= now:
-            _, _, cb = heapq.heappop(self._arrivals)
-            cb()
-        if self._stalled:
-            # Retry stalled tasks whose arrivals may now be known.  Only
-            # entries whose subtask became known leave the dict, so this is
-            # cheap when nothing changed.
-            for tid in list(self._stalled):
-                entry = self._stalled[tid]
-                st = entry.task.subtask(entry.index)
-                if st is not None:
-                    del self._stalled[tid]
-                    eligible = max(st.eligible, entry.lower_bound)
-                    self._seq += 1
-                    self._pending_push(eligible, st)
-                elif (entry.task.last_subtask is not None
-                      and entry.index > entry.task.last_subtask):
-                    del self._stalled[tid]  # task left; drop the stall
-
-    def _release_eligible(self, now: int) -> None:
-        while self._pending and self._pending[0][0] <= now:
-            _, _, st = heapq.heappop(self._pending)
-            self._seq += 1
-            heapq.heappush(self._ready, (self.policy.key(st), self._seq, st))
-
-    def _record_miss(self, st: Subtask, completed_at: Optional[int]) -> None:
-        miss = DeadlineMiss(st.task, st.index, st.deadline, completed_at)
-        self.stats.misses.append(miss)
-        if self.on_miss == "raise":
-            raise DeadlineMissError(miss)
-
-    def _assign_processors(self, now: int, scheduled: List[Subtask],
-                           capacity: int) -> List[Tuple[int, Subtask]]:
-        """Map this slot's subtasks to processors, preserving affinity."""
-        if not self.preserve_affinity:
-            return list(zip(range(capacity), scheduled))
-        taken = [False] * capacity
-        assignment: List[Tuple[Optional[int], Subtask]] = []
-        # Pass 1: continuations keep their processor (no preemption at all).
-        for st in scheduled:
-            ts = self.stats.stats_for(st.task)
-            proc: Optional[int] = None
-            if (ts.last_slot == now - 1 and ts.last_proc is not None
-                    and ts.last_proc < capacity and not taken[ts.last_proc]):
-                proc = ts.last_proc
-                taken[proc] = True
-            assignment.append((proc, st))
-        # Pass 2: everyone else prefers their last processor, else lowest free.
-        free = [p for p in range(capacity) if not taken[p]]
-        free.reverse()  # pop() yields the lowest-numbered processor
-        out: List[Tuple[int, Subtask]] = []
-        for proc, st in assignment:
-            if proc is None:
-                ts = self.stats.stats_for(st.task)
-                if (ts.last_proc is not None and ts.last_proc < capacity
-                        and not taken[ts.last_proc]):
-                    proc = ts.last_proc
-                    taken[proc] = True
-                    free.remove(proc)
-                else:
-                    proc = free.pop()
-                    taken[proc] = True
-            out.append((proc, st))
-        return out
-
-    # -- main loop -----------------------------------------------------------
-
-    def run(self, horizon: int) -> SimResult:
-        """Simulate slots ``0 .. horizon-1`` and return the result.
-
-        Subtasks still unscheduled at the horizon whose deadlines fall
-        within it are counted as deadline misses with no completion time.
-        """
-        if horizon < 0:
-            raise ValueError("horizon must be nonnegative")
-        for now in range(horizon):
-            self.step(now)
-        return self.finalize(horizon)
-
-    def finalize(self, horizon: int) -> SimResult:
-        """Close out a run that was driven with :meth:`step` up to
-        ``horizon`` slots: sweep unfinished subtasks for deadline misses
-        and package the :class:`SimResult`."""
-        self.stats.slots = horizon
-        # Unfinished subtasks with expired deadlines are misses too (unless
-        # the task left the system before generating them).
-        for _, _, st in list(self._pending) + list(self._ready):
-            departed = (st.task.last_subtask is not None
-                        and st.index > st.task.last_subtask)
-            if st.deadline <= horizon and not departed:
-                self._record_miss(st, None)
-        return SimResult(
-            stats=self.stats,
-            trace=self.trace,
-            horizon=horizon,
-            processors=self.processors,
-            policy_name=self.policy.name,
-            tasks=self.tasks,
-        )
-
-    def step(self, now: int) -> List[Tuple[int, Subtask]]:
-        """Advance one slot; returns the (processor, subtask) allocations."""
-        self._drain_arrivals(now)
-        self._release_eligible(now)
-        capacity = self.processors
-        if self.capacity_fn is not None:
-            capacity = min(self.capacity_fn(now), self.processors)
-        scheduled: List[Subtask] = []
-        while self._ready and len(scheduled) < capacity:
-            _, _, st = heapq.heappop(self._ready)
-            if (st.task.last_subtask is not None
-                    and st.index > st.task.last_subtask):
-                continue  # task left the system; drop lazily
-            scheduled.append(st)
-        placed = self._assign_processors(now, scheduled, max(capacity, 1))
-        for proc, st in placed:
-            if now >= st.deadline:
-                self._record_miss(st, now + 1)
-            ts = self.stats.stats_for(st.task)
-            ts.on_scheduled(now, proc, st.job_index)
-            self.last_scheduled_index[st.task.task_id] = st.index
-            if self.trace is not None:
-                self.trace.record(now, proc, st.task, st.index)
-            # Activate the successor.  ERfair early releasing applies when
-            # enabled scheduler-wide or on this task (mixed Pfair/ERfair
-            # systems set it per task).
-            if ((self.early_release or st.task.early_release)
-                    and not st.is_last_of_job()):
-                # ERfair: eligible the moment its predecessor completes.
-                self._activate_early(st.task, st.index + 1, now + 1)
-            else:
-                self._activate(st.task, st.index + 1, lower_bound=now + 1)
-        self.stats.busy_quanta += len(placed)
-        self.stats.idle_quanta += max(capacity, 0) - len(placed)
-        return placed
-
-    def _activate_early(self, task: PfairTask, index: int, eligible: int) -> None:
-        st = task.subtask(index)
-        if st is None:
-            if task.last_subtask is None or index <= task.last_subtask:
-                self._stalled[task.task_id] = _Stalled(task, index, eligible)
-            return
-        self._seq += 1
-        self._pending_push(eligible, st)
 
 
 def simulate_pfair(
@@ -314,7 +29,7 @@ def simulate_pfair(
     policy: Optional[PriorityPolicy] = None,
     *,
     fastpath: Optional[bool] = None,
-    **kwargs,
+    **kwargs: object,
 ) -> SimResult:
     """One-call convenience wrapper: build a simulator and run it.
 

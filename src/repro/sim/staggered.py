@@ -160,7 +160,7 @@ class StaggeredSimulator:
 
 
 def simulate_staggered(tasks: Iterable[PfairTask], processors: int,
-                       quantum: int, horizon: int, **kwargs
+                       quantum: int, horizon: int, **kwargs: object
                        ) -> StaggeredResult:
     """One-call convenience wrapper."""
     return StaggeredSimulator(tasks, processors, quantum, **kwargs).run(horizon)

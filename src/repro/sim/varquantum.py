@@ -159,7 +159,7 @@ class VariableQuantumSimulator:
 
 
 def simulate_variable_quantum(tasks: Iterable[PfairTask], processors: int,
-                              quantum: int, horizon: int, **kwargs
+                              quantum: int, horizon: int, **kwargs: object
                               ) -> VariableQuantumResult:
     """One-call convenience wrapper."""
     sim = VariableQuantumSimulator(tasks, processors, quantum, **kwargs)

@@ -1,0 +1,46 @@
+"""``repro.staticcheck`` — AST-based invariant checker for this repository.
+
+The paper's argument rests on PD² making *exact* priority decisions:
+integer quanta, rational weights, the Eq. (3) inflation.  One float
+leaking into a tie-break, one seedless RNG in a cached code path, or one
+upward import that lets a campaign-level module reach into the decision
+engine, silently breaks invariants that the dynamic test suite can only
+sample.  This package enforces them statically, at commit time, from the
+AST alone — stdlib ``ast`` only, no third-party dependencies.
+
+Rules (see :mod:`repro.staticcheck.rules` and docs/STATIC_ANALYSIS.md):
+
+* **R001 exactness** — no float literals, ``float()`` calls, or true
+  division in decision paths (``core/`` and ``sim/fastpath.py``).
+* **R002 determinism** — no seedless RNGs, wall-clock reads, or
+  environment reads outside ``util/toggles.py`` in ``core/`` + ``sim/``.
+* **R003 layering** — the import DAG ``util → core → workload →
+  overheads/partition → sim → … → analysis/service`` admits no upward
+  imports and no package cycles.
+* **R004 key-width safety** — the packed-key bit fields in
+  ``core/keytab.py`` hold the largest parameters the workload generator
+  emits.
+* **R005 hygiene** — no mutable default arguments, bare ``except``, or
+  control-flow ``assert`` in library code.
+
+Violations are suppressed line-by-line with ``# staticcheck:
+allow[R001]`` pragmas (a justification comment is expected next to every
+pragma) or, transitionally, via a committed JSON baseline that makes CI
+fail only on *new* violations.
+"""
+
+from __future__ import annotations
+
+from .engine import CheckResult, Checker, ModuleInfo, run_checks
+from .rules import RULES, Rule
+from .violations import Violation
+
+__all__ = [
+    "Checker",
+    "CheckResult",
+    "ModuleInfo",
+    "run_checks",
+    "RULES",
+    "Rule",
+    "Violation",
+]

@@ -1,0 +1,64 @@
+"""Committed-baseline support: fail CI only on *new* violations.
+
+A baseline is a JSON file of violation fingerprints (rule + path +
+message, deliberately line-insensitive).  Adopting the checker on a tree
+with pre-existing violations takes ``--write-baseline`` once; every run
+after that reports only violations absent from the baseline, and the
+baseline is expected to shrink monotonically to the empty file this
+repository commits.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from .violations import Violation
+
+__all__ = ["load_baseline", "write_baseline", "split_by_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints recorded in ``path`` (empty set for a missing file)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: not a staticcheck baseline (want version {_VERSION})")
+    return {entry["fingerprint"] for entry in data.get("violations", [])}
+
+
+def write_baseline(path: Path, violations: Iterable[Violation]) -> None:
+    """Write ``violations`` as the new baseline (sorted, deduplicated)."""
+    entries = sorted({v.fingerprint(): v for v in violations}.items())
+    payload = {
+        "version": _VERSION,
+        "violations": [
+            {
+                "fingerprint": fingerprint,
+                "rule": violation.rule_id,
+                "path": violation.path,
+                "message": violation.message,
+            }
+            for fingerprint, violation in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def split_by_baseline(violations: Iterable[Violation],
+                      fingerprints: Set[str]
+                      ) -> Tuple[List[Violation], List[Violation]]:
+    """``(new, baselined)`` partition of ``violations``."""
+    new: List[Violation] = []
+    baselined: List[Violation] = []
+    for violation in violations:
+        (baselined if violation.fingerprint() in fingerprints
+         else new).append(violation)
+    return new, baselined

@@ -1,0 +1,625 @@
+"""The domain rules: R001–R005.
+
+Each rule is a small class with a ``check_module`` hook (one file at a
+time) and an optional ``finalize`` hook (after every file is parsed, for
+cross-file invariants).  Rules yield :class:`~repro.staticcheck.violations.Violation`
+records; the engine applies pragma suppression afterwards, so rules never
+need to know about pragmas.
+
+The rule ids are stable API — baselines, pragmas, and CI logs refer to
+them — so new checks get new ids rather than changing what an existing id
+means.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .engine import ModuleInfo
+from .violations import Violation
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "ExactnessRule",
+    "DeterminismRule",
+    "LayeringRule",
+    "KeyWidthRule",
+    "HygieneRule",
+    "LAYERS",
+]
+
+
+class Rule:
+    """Base class: subclasses set the id/name/description and override
+    one or both hooks."""
+
+    rule_id = "R000"
+    name = "abstract"
+    description = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Violation]:
+        return ()
+
+    def finalize(self, modules: Sequence[ModuleInfo]) -> Iterable[Violation]:
+        return ()
+
+    def _violation(self, module: ModuleInfo, node: ast.AST,
+                   message: str) -> Violation:
+        return Violation(path=module.relpath,
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0),
+                         rule_id=self.rule_id, message=message)
+
+
+def _import_aliases(tree: ast.Module, module_name: str) -> Set[str]:
+    """Local names bound to ``import module_name [as alias]``."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module_name or \
+                        alias.name.startswith(module_name + "."):
+                    out.add((alias.asname or alias.name).split(".")[0])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# R001 — exactness
+
+
+class ExactnessRule(Rule):
+    """No inexact arithmetic in decision paths.
+
+    PD² tie-breaks are exact: integer quanta, rational weights, integer
+    packed keys.  A single float literal, ``float()`` conversion, or true
+    division (``/``) inside ``core/`` or ``sim/fastpath.py`` can silently
+    change a priority comparison — the class of bug the differential
+    suite can only catch by luck.  Metric/export conversions that
+    genuinely need floats carry a line pragma with a justification.
+    """
+
+    rule_id = "R001"
+    name = "exactness"
+    description = ("no float literals, float() calls, or true division "
+                   "in decision paths (core/, sim/fastpath.py)")
+
+    SCOPE_PACKAGES = ("core",)
+    SCOPE_FILES = ("sim/fastpath.py",)
+
+    def _in_scope(self, module: ModuleInfo) -> bool:
+        return (module.package in self.SCOPE_PACKAGES
+                or module.relpath in self.SCOPE_FILES)
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
+        if not self._in_scope(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value,
+                                                             (float, complex)):
+                yield self._violation(
+                    module, node,
+                    f"float literal {node.value!r} in a decision path")
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "float":
+                yield self._violation(
+                    module, node, "float() conversion in a decision path")
+            elif isinstance(node, (ast.BinOp, ast.AugAssign)) and \
+                    isinstance(node.op, ast.Div):
+                yield self._violation(
+                    module, node,
+                    "true division (/) in a decision path — use //, "
+                    "Weight, or Fraction")
+
+
+# ---------------------------------------------------------------------------
+# R002 — determinism
+
+
+class DeterminismRule(Rule):
+    """No hidden nondeterminism in cached/simulated code paths.
+
+    ``core/`` and ``sim/`` results are memoised across runs (hyperperiod
+    cache, analysis cache) and replayed in differential tests, so any
+    global-state RNG, wall-clock read, or environment read there breaks
+    reproducibility.  Environment toggles live in ``util/toggles.py`` —
+    the one sanctioned read point.
+    """
+
+    rule_id = "R002"
+    name = "determinism"
+    description = ("no seedless RNGs, wall-clock reads, or environment "
+                   "reads in core/ + sim/")
+
+    SCOPE_PACKAGES = ("core", "sim")
+
+    #: Wall-clock reads by module attribute.
+    CLOCK_ATTRS = {
+        "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+                 "perf_counter", "perf_counter_ns", "process_time",
+                 "process_time_ns"},
+        "datetime": {"now", "utcnow", "today"},
+    }
+    #: ``np.random.*`` members that are explicitly seeded constructions.
+    SEEDED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence",
+                        "PCG64", "Philox", "BitGenerator"}
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
+        if module.package not in self.SCOPE_PACKAGES:
+            return
+        tree = module.tree
+        random_aliases = _import_aliases(tree, "random")
+        time_aliases = _import_aliases(tree, "time")
+        datetime_aliases = _import_aliases(tree, "datetime")
+        os_aliases = _import_aliases(tree, "os")
+        numpy_aliases = _import_aliases(tree, "numpy")
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(module, node)
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_attribute(
+                    module, node, random_aliases, time_aliases,
+                    datetime_aliases, os_aliases, numpy_aliases)
+
+    def _check_import_from(self, module: ModuleInfo,
+                           node: ast.ImportFrom) -> Iterator[Violation]:
+        if node.level or node.module is None:
+            return
+        top = node.module.split(".")[0]
+        names = {alias.name for alias in node.names}
+        if top == "random":
+            yield self._violation(
+                module, node,
+                "stdlib random is a global-state RNG — use a seeded "
+                "numpy Generator")
+        elif node.module == "time" and names & self.CLOCK_ATTRS["time"]:
+            yield self._violation(
+                module, node, "wall-clock import from time")
+        elif top == "os":
+            if names & {"environ", "getenv"}:
+                yield self._violation(
+                    module, node,
+                    "environment read — route toggles through "
+                    "util/toggles.py")
+
+    def _check_attribute(self, module: ModuleInfo, node: ast.Attribute,
+                         random_aliases: Set[str], time_aliases: Set[str],
+                         datetime_aliases: Set[str], os_aliases: Set[str],
+                         numpy_aliases: Set[str]) -> Iterator[Violation]:
+        base = node.value
+        if isinstance(base, ast.Name):
+            if base.id in random_aliases:
+                yield self._violation(
+                    module, node,
+                    f"random.{node.attr}: global-state RNG — use a "
+                    "seeded numpy Generator")
+            elif base.id in time_aliases and \
+                    node.attr in self.CLOCK_ATTRS["time"]:
+                yield self._violation(
+                    module, node, f"wall-clock read time.{node.attr}")
+            elif base.id in os_aliases and node.attr in ("environ", "getenv"):
+                yield self._violation(
+                    module, node,
+                    f"os.{node.attr}: environment read — route toggles "
+                    "through util/toggles.py")
+        elif isinstance(base, ast.Attribute):
+            # np.random.<fn> — legacy global RNG unless explicitly seeded.
+            if isinstance(base.value, ast.Name) and \
+                    base.value.id in numpy_aliases and \
+                    base.attr == "random" and \
+                    node.attr not in self.SEEDED_NP_RANDOM:
+                yield self._violation(
+                    module, node,
+                    f"numpy.random.{node.attr}: legacy global RNG — use "
+                    "numpy.random.default_rng(seed)")
+            # datetime.datetime.now() / datetime.date.today()
+            elif isinstance(base.value, ast.Name) and \
+                    base.value.id in datetime_aliases and \
+                    base.attr in ("datetime", "date") and \
+                    node.attr in self.CLOCK_ATTRS["datetime"]:
+                yield self._violation(
+                    module, node,
+                    f"wall-clock read datetime.{base.attr}.{node.attr}")
+
+
+# ---------------------------------------------------------------------------
+# R003 — layering
+
+
+#: The import DAG, bottom up.  A module may only import packages at its
+#: own layer or below; ties (overheads/partition, sync/fault) are sibling
+#: packages that must stay mutually independent — the cycle check catches
+#: them if they ever entangle.  Top-level modules (``cli.py``,
+#: ``__main__.py``, ``__init__.py``) are the application shell and may
+#: import anything.
+LAYERS: Dict[str, int] = {
+    "util": 0,
+    "staticcheck": 0,
+    "core": 1,
+    "netfair": 1,
+    "workload": 2,
+    "overheads": 3,
+    "partition": 3,
+    "sim": 4,
+    "sync": 5,
+    "fault": 5,
+    "analysis": 6,
+    "service": 7,
+}
+
+
+class LayeringRule(Rule):
+    """Enforce the package import DAG ``core → overheads/partition → sim
+    → analysis/service`` (with util below everything).
+
+    Upward imports are how "the campaign knows about the engine" quietly
+    becomes "the engine knows about the campaign"; the pre-refactor tree
+    had exactly that cycle (``core`` subclassing ``sim.quantum``).  The
+    rule also rejects packages missing from the layer map, so adding a
+    package forces a layering decision.
+    """
+
+    rule_id = "R003"
+    name = "layering"
+    description = ("package imports must follow the DAG util → core → "
+                   "workload → overheads/partition → sim → sync/fault → "
+                   "analysis → service; no cycles")
+
+    def _imports_of(self, module: ModuleInfo) -> Iterator[Tuple[str, ast.AST]]:
+        """Top-level repro packages imported by ``module`` (resolving
+        relative imports against the module's own location)."""
+        pkg_parts = list(module.module_parts[:-1]) \
+            if not module.relpath.endswith("__init__.py") \
+            else list(module.module_parts)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro" or \
+                            alias.name.startswith("repro."):
+                        parts = alias.name.split(".")[1:]
+                        yield (parts[0] if parts else ""), node
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    if node.module and (node.module == "repro"
+                                        or node.module.startswith("repro.")):
+                        parts = node.module.split(".")[1:]
+                        if parts:
+                            yield parts[0], node
+                        else:
+                            for alias in node.names:
+                                yield alias.name, node
+                    continue
+                # Relative import: level 1 = this package, each extra
+                # level climbs one parent.
+                base = pkg_parts[:len(pkg_parts) - (node.level - 1)] \
+                    if node.level <= len(pkg_parts) + 1 else None
+                if base is None:
+                    continue
+                if node.module:
+                    target = base + node.module.split(".")
+                elif base:
+                    target = base
+                else:
+                    # `from . import X` at the root package.
+                    for alias in node.names:
+                        yield alias.name, node
+                    continue
+                if target:
+                    yield target[0], node
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
+        importer = module.package
+        if importer == "":
+            return  # application shell: unconstrained
+        if importer not in LAYERS:
+            yield Violation(
+                path=module.relpath, line=1, col=0, rule_id=self.rule_id,
+                message=f"package '{importer}' is not in the R003 layer "
+                        "map — place it in the DAG")
+            return
+        my_layer = LAYERS[importer]
+        for target, node in self._imports_of(module):
+            if target == importer or target == "":
+                continue
+            target_layer = LAYERS.get(target)
+            if target_layer is None:
+                # Submodule of repro that is a plain module (cli, ...) or
+                # unknown package: only flag directories we track.
+                continue
+            if target_layer > my_layer:
+                yield self._violation(
+                    module, node,
+                    f"upward import: {importer} (layer {my_layer}) must "
+                    f"not import {target} (layer {target_layer})")
+
+    def finalize(self, modules: Sequence[ModuleInfo]) -> Iterator[Violation]:
+        # Package-level cycle detection (catches equal-layer entanglement
+        # that the per-module layer check cannot).
+        edges: Dict[str, Dict[str, Tuple[str, int]]] = {}
+        for module in modules:
+            importer = module.package
+            if importer == "":
+                continue
+            for target, node in self._imports_of(module):
+                if target != importer and target in LAYERS and \
+                        importer in LAYERS:
+                    edges.setdefault(importer, {}).setdefault(
+                        target,
+                        (module.relpath, getattr(node, "lineno", 1)))
+        for cycle in self._find_cycles(edges):
+            head, nxt = cycle[0], cycle[1]
+            relpath, lineno = edges[head][nxt]
+            yield Violation(
+                path=relpath, line=lineno, col=0, rule_id=self.rule_id,
+                message="package cycle: " + " -> ".join(cycle + [cycle[0]]))
+
+    @staticmethod
+    def _find_cycles(edges: Dict[str, Dict[str, Tuple[str, int]]]
+                     ) -> List[List[str]]:
+        cycles: List[List[str]] = []
+        seen_cycles: Set[Tuple[str, ...]] = set()
+        visiting: List[str] = []
+        done: Set[str] = set()
+
+        def visit(pkg: str) -> None:
+            if pkg in done:
+                return
+            if pkg in visiting:
+                cycle = visiting[visiting.index(pkg):]
+                canon = tuple(sorted(cycle))
+                if canon not in seen_cycles:
+                    seen_cycles.add(canon)
+                    cycles.append(list(cycle))
+                return
+            visiting.append(pkg)
+            for target in edges.get(pkg, ()):
+                visit(target)
+            visiting.pop()
+            done.add(pkg)
+
+        for pkg in sorted(edges):
+            visit(pkg)
+        return cycles
+
+
+# ---------------------------------------------------------------------------
+# R004 — packed-key width safety
+
+
+class _ConstEvaluator:
+    """Evaluate the constant integer expressions a module defines at top
+    level (``GD_BITS = 40``, ``_GD_MASK = (1 << GD_BITS) - 1``, …)."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.env: Dict[str, int] = {}
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                value = self._eval(node.value)
+                if value is not None:
+                    self.env[node.targets[0].id] = value
+
+    def _eval(self, node: ast.AST) -> Optional[int]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = self._eval(node.operand)
+            return None if inner is None else -inner
+        if isinstance(node, ast.BinOp):
+            left, right = self._eval(node.left), self._eval(node.right)
+            if left is None or right is None:
+                return None
+            op = node.op
+            if isinstance(op, ast.Add):
+                return left + right
+            if isinstance(op, ast.Sub):
+                return left - right
+            if isinstance(op, ast.Mult):
+                return left * right
+            if isinstance(op, ast.FloorDiv):
+                return left // right if right else None
+            if isinstance(op, ast.LShift):
+                return left << right
+            if isinstance(op, ast.RShift):
+                return left >> right
+            if isinstance(op, ast.BitOr):
+                return left | right
+            if isinstance(op, ast.BitAnd):
+                return left & right
+            if isinstance(op, ast.Pow):
+                return left ** right
+        return None
+
+
+def _keyword_default(tree: ast.Module, func: str, arg: str,
+                     *, method_of: Optional[str] = None
+                     ) -> Optional[Tuple[int, int]]:
+    """``(value, lineno)`` of an int default for ``arg`` of ``func``."""
+    scope: Iterable[ast.stmt] = tree.body
+    if method_of is not None:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == method_of:
+                scope = node.body
+                break
+        else:
+            return None
+    for node in scope:
+        if isinstance(node, ast.FunctionDef) and node.name == func:
+            args = node.args
+            for arg_list, defaults in (
+                    (args.posonlyargs + args.args, args.defaults),
+                    (args.kwonlyargs, args.kw_defaults)):
+                named = arg_list[len(arg_list) - len(defaults):] \
+                    if defaults is args.defaults else arg_list
+                for a, d in zip(named, defaults):
+                    if a.arg == arg and isinstance(d, ast.Constant) and \
+                            isinstance(d.value, int):
+                        return d.value, d.lineno
+    return None
+
+
+class KeyWidthRule(Rule):
+    """The packed-key bit fields must hold what the generator emits.
+
+    ``core/keytab.py`` packs the PD² tie-break chain into fixed-width
+    fields; ``workload/generator.py`` decides the largest period the
+    campaigns can produce.  Those two files evolve independently — this
+    rule re-derives the field capacities from the keytab AST and checks
+    them against the generator's default bounds, so widening the workload
+    without widening the key fields fails at lint time instead of
+    corrupting a priority order at simulation time.
+    """
+
+    rule_id = "R004"
+    name = "key-width-safety"
+    description = ("core/keytab.py bit-field capacities must cover the "
+                   "max period the workload generator emits")
+
+    KEYTAB = "core/keytab.py"
+    GENERATOR = "workload/generator.py"
+    DISTRIBUTIONS = "workload/distributions.py"
+
+    def finalize(self, modules: Sequence[ModuleInfo]) -> Iterator[Violation]:
+        by_path = {m.relpath: m for m in modules}
+        keytab = by_path.get(self.KEYTAB)
+        generator = by_path.get(self.GENERATOR)
+        if keytab is None or generator is None:
+            return  # partial tree (single-file runs, fixtures)
+
+        consts = _ConstEvaluator(keytab.tree).env
+        missing = [name for name in ("GD_BITS", "ID_BITS", "IDX_BITS")
+                   if name not in consts]
+        if missing:
+            yield Violation(
+                path=self.KEYTAB, line=1, col=0, rule_id=self.rule_id,
+                message="cannot evaluate bit-field constants "
+                        f"{', '.join(missing)} — keep them literal ints")
+            return
+        # Capacities as pack_key() enforces them: the gd-field stores
+        # D - d in [0, 2**GD_BITS - 3] (GD_LIGHT and the top value are
+        # reserved), the index field holds subtask counts.
+        gd_capacity = (1 << consts["GD_BITS"]) - 3
+        idx_capacity = (1 << consts["IDX_BITS"]) - 1
+
+        max_periods: List[Tuple[int, int, str]] = []
+        found = _keyword_default(generator.tree, "__init__", "max_period",
+                                 method_of="TaskSetGenerator")
+        if found is not None:
+            max_periods.append((*found, self.GENERATOR))
+        distributions = by_path.get(self.DISTRIBUTIONS)
+        if distributions is not None:
+            found = _keyword_default(distributions.tree,
+                                     "log_uniform_periods", "max_period")
+            if found is not None:
+                max_periods.append((*found, self.DISTRIBUTIONS))
+        if not max_periods:
+            yield Violation(
+                path=self.GENERATOR, line=1, col=0, rule_id=self.rule_id,
+                message="cannot find an integer max_period default to "
+                        "check the packed-key fields against")
+            return
+
+        for period, lineno, relpath in max_periods:
+            # D - d is bounded by the period; periods are in ticks and a
+            # quantum is >= 1 tick, so the tick bound is the worst case.
+            if period > gd_capacity:
+                yield Violation(
+                    path=relpath, line=lineno, col=0, rule_id=self.rule_id,
+                    message=f"max_period={period} exceeds the "
+                            f"{consts['GD_BITS']}-bit group-deadline "
+                            f"field (capacity {gd_capacity}) in "
+                            f"{self.KEYTAB}")
+            if period > idx_capacity:
+                yield Violation(
+                    path=relpath, line=lineno, col=0, rule_id=self.rule_id,
+                    message=f"max_period={period} exceeds the "
+                            f"{consts['IDX_BITS']}-bit index field "
+                            f"(capacity {idx_capacity}) in {self.KEYTAB}")
+
+
+# ---------------------------------------------------------------------------
+# R005 — hygiene
+
+
+class HygieneRule(Rule):
+    """Library-code hygiene: the small set of Python footguns that have
+    bitten exact-arithmetic code before.
+
+    * mutable default arguments alias state across calls (a cache that
+      outlives the task set it was built for);
+    * bare ``except:`` swallows ``KeyboardInterrupt`` and hides engine
+      bugs;
+    * ``assert`` for control flow disappears under ``python -O`` —
+      invariant checks must raise.  Narrowing asserts
+      (``assert x is not None``) are idiomatic and stay allowed.
+    """
+
+    rule_id = "R005"
+    name = "hygiene"
+    description = ("no mutable default args, bare except, or "
+                   "control-flow assert in library code")
+
+    MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict",
+                     "Counter", "deque", "bytearray"}
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self._violation(
+                    module, node,
+                    "bare except: catches KeyboardInterrupt/SystemExit — "
+                    "name the exceptions")
+            elif isinstance(node, ast.Assert):
+                if not self._is_narrowing(node):
+                    yield self._violation(
+                        module, node,
+                        "control-flow assert vanishes under python -O — "
+                        "raise an explicit exception")
+
+    def _check_defaults(self, module: ModuleInfo,
+                        node: ast.FunctionDef) -> Iterator[Violation]:
+        defaults = list(node.args.defaults) + \
+            [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                yield self._violation(
+                    module, default,
+                    "mutable default argument — use None and rebuild "
+                    "inside the function")
+            elif isinstance(default, ast.Call) and \
+                    isinstance(default.func, ast.Name) and \
+                    default.func.id in self.MUTABLE_CALLS:
+                yield self._violation(
+                    module, default,
+                    f"mutable default argument {default.func.id}() — use "
+                    "None and rebuild inside the function")
+
+    @staticmethod
+    def _is_narrowing(node: ast.Assert) -> bool:
+        """``assert <expr> is not None`` — type narrowing, not control
+        flow; keeping it is idiomatic for Optional unwrapping."""
+        test = node.test
+        return (isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.IsNot)
+                and len(test.comparators) == 1
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None)
+
+
+#: The default rule set, in id order.
+RULES: Tuple[Rule, ...] = (
+    ExactnessRule(),
+    DeterminismRule(),
+    LayeringRule(),
+    KeyWidthRule(),
+    HygieneRule(),
+)

@@ -19,7 +19,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..core.task import PeriodicTask
-from ..sim.uniproc import UniTask
+from ..core.uniproc import UniTask
 from .distributions import (
     UTILIZATION_SAMPLERS,
     log_uniform_periods,
@@ -69,7 +69,7 @@ class TaskSetGenerator:
 
     def __init__(self, seed: int = 0, *, quantum: int = 1000,
                  min_period: int = 50_000, max_period: int = 5_000_000,
-                 utilization_sampler="simplex",
+                 utilization_sampler: "str | Callable[..., List[float]]" = "simplex",
                  cache_delay_max: int = 100) -> None:
         self.rng = np.random.default_rng(seed)
         self.quantum = quantum
@@ -115,7 +115,7 @@ class TaskSetGenerator:
 
 
 def generate_task_set(n: int, total_utilization: float, *, seed: int = 0,
-                      **kwargs) -> List[TaskSpec]:
+                      **kwargs: object) -> List[TaskSpec]:
     """Convenience one-shot wrapper around :class:`TaskSetGenerator`."""
     return TaskSetGenerator(seed, **kwargs).generate(n, total_utilization)
 

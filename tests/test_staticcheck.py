@@ -1,0 +1,480 @@
+"""Tests for :mod:`repro.staticcheck` — the AST invariant checker.
+
+Each rule gets fixture snippets written into a tmp tree that mimics the
+``src/repro`` package layout (rule scopes key off the top-level package
+directory), and the assertions pin down exact rule ids and ``file:line``
+anchors so a rule that drifts to a different node is caught, not just a
+rule that stops firing.  The last test runs the real tree and is the
+repository's own gate: ``src/repro`` must stay clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import run_checks
+from repro.staticcheck.baseline import (load_baseline, split_by_baseline,
+                                        write_baseline)
+from repro.staticcheck.cli import main as staticcheck_main
+from repro.staticcheck.engine import Checker
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def make_tree(root, files):
+    """Write ``{relpath: source}`` under ``root`` and return ``root``."""
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def hits(result, rule_id):
+    return [v for v in result.violations if v.rule_id == rule_id]
+
+
+def anchors(result, rule_id):
+    return [(v.path, v.line) for v in hits(result, rule_id)]
+
+
+# ---------------------------------------------------------------------------
+# R001 — exactness
+
+
+class TestExactness:
+    def test_flags_float_literal_call_and_division(self, tmp_path):
+        root = make_tree(tmp_path, {"core/bad.py": (
+            "X = 0.5\n"                    # line 1: float literal
+            "Y = float('1')\n"             # line 2: float() conversion
+            "def f(a, b):\n"
+            "    return a / b\n"           # line 4: true division
+        )})
+        result = run_checks(root, select=["R001"])
+        assert anchors(result, "R001") == [
+            ("core/bad.py", 1), ("core/bad.py", 2), ("core/bad.py", 4)]
+        messages = [v.message for v in hits(result, "R001")]
+        assert "float literal" in messages[0]
+        assert "float() conversion" in messages[1]
+        assert "true division" in messages[2]
+
+    def test_fastpath_is_in_scope_but_other_sim_files_are_not(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "sim/fastpath.py": "SPEEDUP = 2.5\n",
+            "sim/export.py": "SCALE = 2.5\n",       # export layer: floats fine
+            "analysis/plots.py": "ALPHA = 0.3\n",   # reporting layer too
+        })
+        result = run_checks(root, select=["R001"])
+        assert anchors(result, "R001") == [("sim/fastpath.py", 1)]
+
+    def test_floor_division_and_fraction_are_clean(self, tmp_path):
+        root = make_tree(tmp_path, {"core/ok.py": (
+            "from fractions import Fraction\n"
+            "def lag(a, b):\n"
+            "    return Fraction(a, b) - a // b\n"
+        )})
+        assert run_checks(root, select=["R001"]).ok
+
+
+# ---------------------------------------------------------------------------
+# R002 — determinism
+
+
+class TestDeterminism:
+    def test_flags_global_rng_clock_and_environ(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/bad.py": (
+            "import random\n"
+            "import time\n"
+            "import os\n"
+            "def jitter():\n"
+            "    t = time.time()\n"          # line 5: wall clock
+            "    if os.getenv('X'):\n"       # line 6: env read
+            "        return random.random()\n"  # line 7: global RNG
+            "    return t\n"
+        )})
+        result = run_checks(root, select=["R002"])
+        assert anchors(result, "R002") == [
+            ("sim/bad.py", 5), ("sim/bad.py", 6), ("sim/bad.py", 7)]
+
+    def test_from_imports_are_flagged_at_the_import(self, tmp_path):
+        root = make_tree(tmp_path, {"core/bad.py": (
+            "from random import shuffle\n"
+            "from os import environ\n"
+        )})
+        result = run_checks(root, select=["R002"])
+        assert anchors(result, "R002") == [
+            ("core/bad.py", 1), ("core/bad.py", 2)]
+
+    def test_seeded_numpy_generator_is_clean(self, tmp_path):
+        root = make_tree(tmp_path, {"core/ok.py": (
+            "import numpy as np\n"
+            "def sample(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )})
+        assert run_checks(root, select=["R002"]).ok
+
+    def test_legacy_numpy_global_rng_is_flagged(self, tmp_path):
+        root = make_tree(tmp_path, {"core/bad.py": (
+            "import numpy as np\n"
+            "def sample():\n"
+            "    return np.random.rand()\n"
+        )})
+        result = run_checks(root, select=["R002"])
+        assert anchors(result, "R002") == [("core/bad.py", 3)]
+
+    def test_out_of_scope_packages_may_read_the_environment(self, tmp_path):
+        # util/toggles.py is the sanctioned read point; the whole util
+        # package (and the app shell) sits outside the R002 scope.
+        root = make_tree(tmp_path, {"util/toggles.py": (
+            "import os\n"
+            "def fastpath_enabled():\n"
+            "    return os.getenv('REPRO_NO_FASTPATH') is None\n"
+        )})
+        assert run_checks(root, select=["R002"]).ok
+
+
+# ---------------------------------------------------------------------------
+# R003 — layering
+
+
+class TestLayering:
+    def test_upward_relative_import_is_flagged(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/engine.py": "from ..sim.quantum import QuantumSimulator\n",
+            "sim/quantum.py": "QuantumSimulator = object\n",
+        })
+        result = run_checks(root, select=["R003"])
+        assert anchors(result, "R003") == [("core/engine.py", 1)]
+        assert "upward import" in hits(result, "R003")[0].message
+
+    def test_upward_absolute_import_is_flagged(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "workload/gen.py": "from repro.analysis import tardiness\n",
+        })
+        result = run_checks(root, select=["R003"])
+        assert anchors(result, "R003") == [("workload/gen.py", 1)]
+
+    def test_downward_imports_are_clean(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "sim/run.py": ("from ..core.task import PfairTask\n"
+                           "from ..workload import generator\n"
+                           "import repro.util.toggles\n"),
+        })
+        assert run_checks(root, select=["R003"]).ok
+
+    def test_unmapped_package_forces_a_layering_decision(self, tmp_path):
+        root = make_tree(tmp_path, {"newpkg/mod.py": "X = 1\n"})
+        result = run_checks(root, select=["R003"])
+        assert len(hits(result, "R003")) == 1
+        assert "not in the R003 layer map" in hits(result, "R003")[0].message
+
+    def test_sibling_cycle_is_detected(self, tmp_path):
+        # overheads and partition share layer 3: neither direction is an
+        # upward import, so only the finalize cycle pass can catch this.
+        root = make_tree(tmp_path, {
+            "overheads/a.py": "from repro.partition import bins\n",
+            "partition/b.py": "from repro.overheads import model\n",
+        })
+        result = run_checks(root, select=["R003"])
+        cycle = [v for v in hits(result, "R003")
+                 if "package cycle" in v.message]
+        assert len(cycle) == 1
+        assert "overheads" in cycle[0].message
+        assert "partition" in cycle[0].message
+
+
+# ---------------------------------------------------------------------------
+# R004 — packed-key width safety
+
+
+R004_KEYTAB_TMPL = (
+    "GD_BITS = {gd}\n"
+    "ID_BITS = 22\n"
+    "IDX_BITS = {idx}\n"
+    "GD_LIGHT = (1 << GD_BITS) - 1\n"
+)
+R004_GENERATOR = (
+    "class TaskSetGenerator:\n"
+    "    def __init__(self, seed=0, *, max_period=5_000_000):\n"
+    "        self.max_period = max_period\n"
+)
+
+
+class TestKeyWidth:
+    def test_wide_fields_cover_the_generator(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/keytab.py": R004_KEYTAB_TMPL.format(gd=40, idx=32),
+            "workload/generator.py": R004_GENERATOR,
+        })
+        assert run_checks(root, select=["R004"]).ok
+
+    def test_narrow_group_deadline_field_is_flagged(self, tmp_path):
+        # 2**20 - 3 < 5_000_000: the gd field can no longer hold D - d.
+        root = make_tree(tmp_path, {
+            "core/keytab.py": R004_KEYTAB_TMPL.format(gd=20, idx=32),
+            "workload/generator.py": R004_GENERATOR,
+        })
+        result = run_checks(root, select=["R004"])
+        assert anchors(result, "R004") == [("workload/generator.py", 2)]
+        assert "group-deadline" in hits(result, "R004")[0].message
+
+    def test_narrow_index_field_is_flagged_too(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/keytab.py": R004_KEYTAB_TMPL.format(gd=40, idx=16),
+            "workload/generator.py": R004_GENERATOR,
+        })
+        result = run_checks(root, select=["R004"])
+        assert anchors(result, "R004") == [("workload/generator.py", 2)]
+        assert "index field" in hits(result, "R004")[0].message
+
+    def test_unevaluable_constants_are_reported_not_ignored(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/keytab.py": "GD_BITS = some_function()\n",
+            "workload/generator.py": R004_GENERATOR,
+        })
+        result = run_checks(root, select=["R004"])
+        assert len(hits(result, "R004")) == 1
+        assert "cannot evaluate" in hits(result, "R004")[0].message
+
+    def test_partial_trees_skip_the_rule(self, tmp_path):
+        # Single-package fixtures (and single-file runs) have no
+        # keytab/generator pair to compare: the rule stays silent rather
+        # than erroring on every test fixture.
+        root = make_tree(tmp_path, {"core/keytab.py": "GD_BITS = 40\n"})
+        assert run_checks(root, select=["R004"]).ok
+
+
+# ---------------------------------------------------------------------------
+# R005 — hygiene
+
+
+class TestHygiene:
+    def test_flags_mutable_default_bare_except_and_assert(self, tmp_path):
+        root = make_tree(tmp_path, {"service/bad.py": (
+            "def f(cache={}):\n"            # line 1 (default node on line 1)
+            "    try:\n"
+            "        return cache\n"
+            "    except:\n"                 # line 4: bare except
+            "        assert len(cache) > 0\n"  # line 5: control-flow assert
+        )})
+        result = run_checks(root, select=["R005"])
+        assert anchors(result, "R005") == [
+            ("service/bad.py", 1), ("service/bad.py", 4),
+            ("service/bad.py", 5)]
+
+    def test_mutable_constructor_default_is_flagged(self, tmp_path):
+        root = make_tree(tmp_path, {"core/bad.py": (
+            "def f(*, acc=list()):\n"
+            "    return acc\n"
+        )})
+        result = run_checks(root, select=["R005"])
+        assert anchors(result, "R005") == [("core/bad.py", 1)]
+
+    def test_narrowing_assert_is_allowed(self, tmp_path):
+        root = make_tree(tmp_path, {"core/ok.py": (
+            "def f(x):\n"
+            "    assert x is not None\n"
+            "    return x + 1\n"
+        )})
+        assert run_checks(root, select=["R005"]).ok
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour: pragmas, select/ignore, parse errors
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_exactly_that_line(self, tmp_path):
+        root = make_tree(tmp_path, {"core/mod.py": (
+            "X = 0.5  # staticcheck: allow[R001]\n"
+            "Y = 0.5\n"
+        )})
+        result = run_checks(root, select=["R001"])
+        assert anchors(result, "R001") == [("core/mod.py", 2)]
+        assert result.suppressed == 1
+
+    def test_file_pragma_suppresses_the_whole_file(self, tmp_path):
+        root = make_tree(tmp_path, {"core/mod.py": (
+            "# staticcheck: allow-file[R001]\n"
+            "X = 0.5\n"
+            "Y = 1.5\n"
+        )})
+        result = run_checks(root, select=["R001"])
+        assert result.ok
+        assert result.suppressed == 2
+
+    def test_pragma_is_per_rule(self, tmp_path):
+        root = make_tree(tmp_path, {"core/mod.py": (
+            "def f(xs=[0.5]):  # staticcheck: allow[R005]\n"
+            "    return xs\n"
+        )})
+        result = run_checks(root)
+        # R005 is suppressed; the float literal inside still fires R001.
+        assert [v.rule_id for v in result.violations] == ["R001"]
+
+    def test_multiple_rules_in_one_pragma(self, tmp_path):
+        root = make_tree(tmp_path, {"core/mod.py": (
+            "import time\n"
+            "def f():\n"
+            "    return time.time() * 0.001  "
+            "# staticcheck: allow[R001, R002]\n"
+        )})
+        assert run_checks(root, select=["R001", "R002"]).ok
+
+
+class TestEngine:
+    def test_select_and_ignore_filter_rules(self, tmp_path):
+        root = make_tree(tmp_path, {"core/mod.py": (
+            "X = 0.5\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+        )})
+        assert {v.rule_id for v in run_checks(root).violations} == \
+            {"R001", "R005"}
+        assert {v.rule_id for v in
+                run_checks(root, ignore=["R001"]).violations} == {"R005"}
+        assert {v.rule_id for v in
+                run_checks(root, select=["R001"]).violations} == {"R001"}
+
+    def test_syntax_error_becomes_a_parse_violation(self, tmp_path):
+        root = make_tree(tmp_path, {"core/broken.py": "def f(:\n"})
+        result = run_checks(root)
+        assert [v.rule_id for v in result.violations] == ["E000"]
+        assert result.violations[0].path == "core/broken.py"
+
+    def test_single_file_root_is_accepted(self, tmp_path):
+        root = make_tree(tmp_path, {"core/mod.py": "X = 0.5\n"})
+        result = Checker(root / "core" / "mod.py", select=["R001"]).check()
+        # Root collapses to the file's parent, so relpath is bare — and
+        # package scoping no longer applies, which is fine for spot runs
+        # of the scope-free rules.
+        assert result.files_checked == 1
+
+
+# ---------------------------------------------------------------------------
+# Baseline workflow
+
+
+class TestBaseline:
+    def test_roundtrip_and_split(self, tmp_path):
+        root = make_tree(tmp_path / "pkg", {"core/mod.py": "X = 0.5\n"})
+        result = run_checks(root, select=["R001"])
+        assert len(result.violations) == 1
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, result.violations)
+        fingerprints = load_baseline(baseline)
+        assert len(fingerprints) == 1
+        new, baselined = split_by_baseline(result.violations, fingerprints)
+        assert new == [] and len(baselined) == 1
+
+    def test_baseline_is_line_insensitive(self, tmp_path):
+        root = make_tree(tmp_path / "pkg", {"core/mod.py": "X = 0.5\n"})
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run_checks(root, select=["R001"]).violations)
+        # Shift the violation down two lines: same fingerprint, still
+        # baselined — baselines don't churn on unrelated edits.
+        (root / "core" / "mod.py").write_text("import sys\n\nX = 0.5\n")
+        new, baselined = split_by_baseline(
+            run_checks(root, select=["R001"]).violations,
+            load_baseline(baseline))
+        assert new == [] and len(baselined) == 1
+
+    def test_missing_baseline_file_means_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_rejects_foreign_json(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"something": "else"}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"core/mod.py": "X = 0.5\n"})
+        assert staticcheck_main([str(root), "--select", "R001"]) == 1
+        assert staticcheck_main([str(root), "--select", "R002"]) == 0
+        capsys.readouterr()
+
+    def test_text_output_has_clickable_anchors(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"core/mod.py": "X = 0.5\n"})
+        staticcheck_main([str(root), "--select", "R001"])
+        out = capsys.readouterr().out
+        assert "core/mod.py:1:" in out and "R001" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        root = make_tree(tmp_path, {"core/mod.py": "X = 0.5\n"})
+        staticcheck_main([str(root), "--select", "R001", "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["violations"][0]["rule"] == "R001"
+        assert report["violations"][0]["path"] == "core/mod.py"
+
+    def test_write_then_use_baseline(self, tmp_path, capsys):
+        root = make_tree(tmp_path / "pkg", {"core/mod.py": "X = 0.5\n"})
+        baseline = tmp_path / "baseline.json"
+        assert staticcheck_main([str(root), "--select", "R001",
+                                 "--baseline", str(baseline),
+                                 "--write-baseline"]) == 0
+        assert staticcheck_main([str(root), "--select", "R001",
+                                 "--baseline", str(baseline)]) == 0
+        # A *new* violation still fails even with the baseline in place.
+        (root / "core" / "mod.py").write_text("X = 0.5\nY = 2.5\n")
+        assert staticcheck_main([str(root), "--select", "R001",
+                                 "--baseline", str(baseline)]) == 1
+        capsys.readouterr()
+
+    def test_list_rules_names_all_five(self, capsys):
+        assert staticcheck_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+            assert rule_id in out
+
+    def test_repro_lint_subcommand_forwards(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "--list-rules"]) == 0
+        assert "R003" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# The real tree: the repository's own gate
+
+
+class TestRealTree:
+    def test_src_repro_is_clean(self):
+        result = run_checks(REPO_SRC)
+        assert result.files_checked > 50
+        assert result.violations == [], "\n".join(
+            v.render() for v in result.violations)
+
+    def test_committed_baseline_is_empty(self):
+        baseline = REPO_SRC.parents[1] / ".staticcheck-baseline.json"
+        assert baseline.exists()
+        assert load_baseline(baseline) == set()
+
+    def test_keytab_headroom_is_real(self):
+        # The acceptance demo for R004: artificially narrowing the gd
+        # field must make the real tree fail.  Rewrite keytab with
+        # GD_BITS = 20 in a scratch copy of the two files the rule reads.
+        import shutil
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            for rel in ("core/keytab.py", "workload/generator.py",
+                        "workload/distributions.py"):
+                dst = root / rel
+                dst.parent.mkdir(parents=True, exist_ok=True)
+                shutil.copy(REPO_SRC / rel, dst)
+            keytab = root / "core" / "keytab.py"
+            keytab.write_text(keytab.read_text().replace(
+                "GD_BITS = 40", "GD_BITS = 20"))
+            result = run_checks(root, select=["R004"])
+            assert len(hits(result, "R004")) >= 1
