@@ -6,46 +6,76 @@ partitioning approach it is compared against, together with the overhead
 models, workload generators, and experiment harnesses needed to regenerate
 every figure of the paper.  See DESIGN.md for the system inventory and
 EXPERIMENTS.md for the paper-vs-measured record.
+
+The public names below are re-exported lazily (PEP 562): importing
+``repro`` itself pulls in nothing beyond the stdlib, so dependency-free
+entry points — ``python -m repro.staticcheck`` in particular, which CI
+and pre-commit run before numpy is installed — stay dependency-free.
+The heavy subpackages (``repro.core``, ``repro.sim`` → numpy) load on
+first attribute access.
 """
+
+from typing import TYPE_CHECKING, Any, List
 
 __version__ = "1.0.0"
 
-from .core import (
-    EPDFPriority,
-    ERPD2Scheduler,
-    PD2Scheduler,
-    IntraSporadicTask,
-    PD2Priority,
-    PDPriority,
-    PeriodicTask,
-    PFPriority,
-    PfairTask,
-    SporadicTask,
-    TaskSet,
-    Weight,
-    weight_sum,
-)
-from .core import schedule_erfair, schedule_pd2
-from .sim import QuantumSimulator, SimResult, simulate_pfair
+if TYPE_CHECKING:  # static importers see the eager form
+    from .core import (
+        EPDFPriority,
+        ERPD2Scheduler,
+        IntraSporadicTask,
+        PD2Priority,
+        PD2Scheduler,
+        PDPriority,
+        PeriodicTask,
+        PfairTask,
+        PFPriority,
+        SporadicTask,
+        TaskSet,
+        Weight,
+        schedule_erfair,
+        schedule_pd2,
+        weight_sum,
+    )
+    from .sim import QuantumSimulator, SimResult, simulate_pfair
 
-__all__ = [
-    "__version__",
-    "Weight",
-    "weight_sum",
-    "PfairTask",
-    "PeriodicTask",
-    "SporadicTask",
-    "IntraSporadicTask",
-    "TaskSet",
-    "PD2Priority",
-    "PDPriority",
-    "PFPriority",
-    "EPDFPriority",
-    "QuantumSimulator",
-    "SimResult",
-    "simulate_pfair",
-    "PD2Scheduler",
-    "schedule_pd2",
-    "ERPD2Scheduler",
-    "schedule_erfair",
-]
+#: Public name → defining submodule, for the lazy ``__getattr__`` below.
+_EXPORTS = {
+    "Weight": "core",
+    "weight_sum": "core",
+    "PfairTask": "core",
+    "PeriodicTask": "core",
+    "SporadicTask": "core",
+    "IntraSporadicTask": "core",
+    "TaskSet": "core",
+    "PD2Priority": "core",
+    "PDPriority": "core",
+    "PFPriority": "core",
+    "EPDFPriority": "core",
+    "PD2Scheduler": "core",
+    "schedule_pd2": "core",
+    "ERPD2Scheduler": "core",
+    "schedule_erfair": "core",
+    "QuantumSimulator": "sim",
+    "SimResult": "sim",
+    "simulate_pfair": "sim",
+}
+
+__all__ = ["__version__", *_EXPORTS]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        submodule = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
+
+    value = getattr(import_module(f"{__name__}.{submodule}"), name)
+    globals()[name] = value  # cache: resolve each name at most once
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -256,6 +256,12 @@ def _cmd_svc_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .staticcheck.cli import main as staticcheck_main
+
+    return staticcheck_main(list(getattr(args, "lint_args", []) or []))
+
+
 def _add_service_commands(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--host", default="127.0.0.1")
@@ -371,13 +377,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_service_commands(sub)
 
-    # ``repro lint`` is handled before argparse in :func:`main` so that
-    # staticcheck's own options pass through verbatim; register it here
-    # only so it shows in ``repro --help``.
-    sub.add_parser(
+    # ``repro lint`` is normally handled before argparse in :func:`main`
+    # so that staticcheck's own options pass through verbatim; the
+    # REMAINDER + ``fn`` default keep the argparse path working too
+    # (programmatic ``build_parser().parse_args`` use).
+    p = sub.add_parser(
         "lint",
         help="run the repo's AST invariant checker (repro.staticcheck)",
         add_help=False)
+    p.add_argument("lint_args", nargs=argparse.REMAINDER,
+                   help=argparse.SUPPRESS)
+    p.set_defaults(fn=_cmd_lint)
 
     return parser
 

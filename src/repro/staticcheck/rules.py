@@ -65,6 +65,21 @@ def _import_aliases(tree: ast.Module, module_name: str) -> Set[str]:
     return out
 
 
+def _from_import_aliases(tree: ast.Module, module_name: str,
+                         names: Iterable[str]) -> Set[str]:
+    """Local names bound to ``from module_name import name [as alias]``
+    for any ``name`` in ``names``."""
+    wanted = set(names)
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and not node.level \
+                and node.module == module_name:
+            for alias in node.names:
+                if alias.name in wanted:
+                    out.add(alias.asname or alias.name)
+    return out
+
+
 # ---------------------------------------------------------------------------
 # R001 — exactness
 
@@ -155,6 +170,10 @@ class DeterminismRule(Rule):
         datetime_aliases = _import_aliases(tree, "datetime")
         os_aliases = _import_aliases(tree, "os")
         numpy_aliases = _import_aliases(tree, "numpy")
+        # ``from datetime import datetime [as dt]`` binds the *class*
+        # locally — resolve those bindings so ``dt.now()`` is caught too.
+        datetime_cls_aliases = _from_import_aliases(
+            tree, "datetime", ("datetime", "date"))
 
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom):
@@ -162,7 +181,8 @@ class DeterminismRule(Rule):
             elif isinstance(node, ast.Attribute):
                 yield from self._check_attribute(
                     module, node, random_aliases, time_aliases,
-                    datetime_aliases, os_aliases, numpy_aliases)
+                    datetime_aliases, os_aliases, numpy_aliases,
+                    datetime_cls_aliases)
 
     def _check_import_from(self, module: ModuleInfo,
                            node: ast.ImportFrom) -> Iterator[Violation]:
@@ -188,10 +208,18 @@ class DeterminismRule(Rule):
     def _check_attribute(self, module: ModuleInfo, node: ast.Attribute,
                          random_aliases: Set[str], time_aliases: Set[str],
                          datetime_aliases: Set[str], os_aliases: Set[str],
-                         numpy_aliases: Set[str]) -> Iterator[Violation]:
+                         numpy_aliases: Set[str],
+                         datetime_cls_aliases: Set[str]
+                         ) -> Iterator[Violation]:
         base = node.value
         if isinstance(base, ast.Name):
-            if base.id in random_aliases:
+            if base.id in datetime_cls_aliases and \
+                    node.attr in self.CLOCK_ATTRS["datetime"]:
+                yield self._violation(
+                    module, node,
+                    f"wall-clock read {base.id}.{node.attr} "
+                    "(datetime class imported via from-import)")
+            elif base.id in random_aliases:
                 yield self._violation(
                     module, node,
                     f"random.{node.attr}: global-state RNG — use a "

@@ -8,6 +8,9 @@ rule that stops firing.  The last test runs the real tree and is the
 repository's own gate: ``src/repro`` must stay clean.
 """
 
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -121,6 +124,30 @@ class TestDeterminism:
         )})
         result = run_checks(root, select=["R002"])
         assert anchors(result, "R002") == [("core/bad.py", 3)]
+
+    def test_datetime_class_from_import_clock_reads_are_flagged(self, tmp_path):
+        # ``from datetime import datetime`` binds the *class*, not the
+        # module — the alias resolution must still catch ``.now()``.
+        root = make_tree(tmp_path, {"core/bad.py": (
+            "from datetime import datetime\n"
+            "from datetime import date as d\n"
+            "def stamp():\n"
+            "    return datetime.now(), d.today()\n"   # line 4: two reads
+        )})
+        result = run_checks(root, select=["R002"])
+        assert anchors(result, "R002") == [
+            ("core/bad.py", 4), ("core/bad.py", 4)]
+        messages = [v.message for v in hits(result, "R002")]
+        assert any("datetime.now" in m for m in messages)
+        assert any("d.today" in m for m in messages)
+
+    def test_datetime_class_import_without_clock_read_is_clean(self, tmp_path):
+        root = make_tree(tmp_path, {"core/ok.py": (
+            "from datetime import datetime, timedelta\n"
+            "def parse(s):\n"
+            "    return datetime.fromisoformat(s) + timedelta(days=1)\n"
+        )})
+        assert run_checks(root, select=["R002"]).ok
 
     def test_out_of_scope_packages_may_read_the_environment(self, tmp_path):
         # util/toggles.py is the sanctioned read point; the whole util
@@ -441,6 +468,33 @@ class TestCli:
 
         assert repro_main(["lint", "--list-rules"]) == 0
         assert "R003" in capsys.readouterr().out
+
+    def test_repro_lint_dispatches_through_argparse_too(self, capsys):
+        # The pre-argparse intercept in repro.cli.main normally handles
+        # ``lint``; the subparser must still carry a working ``fn``
+        # default so programmatic build_parser() use is not a dead end.
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["lint", str(REPO_SRC), "-q"])
+        assert args.fn(args) == 0
+        capsys.readouterr()
+
+    def test_module_entry_point_is_stdlib_only(self, tmp_path):
+        # CI and pre-commit run ``python -m repro.staticcheck`` before
+        # any pip install: importing the repro package must not pull in
+        # numpy.  Block numpy on sys.path and run the real gate.
+        (tmp_path / "numpy.py").write_text(
+            "raise ImportError('numpy deliberately blocked by "
+            "test_module_entry_point_is_stdlib_only')\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(tmp_path), str(REPO_SRC.parent)])
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.staticcheck", str(REPO_SRC),
+             "--baseline",
+             str(REPO_SRC.parents[1] / ".staticcheck-baseline.json")],
+            env=env, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 # ---------------------------------------------------------------------------
