@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures full-figures examples clean \
+.PHONY: install test stress bench figures full-figures examples clean \
 	staticcheck lint typecheck check
 
 install:
@@ -10,6 +10,14 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Concurrency stress suite, three times over (races are probabilistic;
+# CI does the same — see docs/CONCURRENCY.md).
+stress:
+	for i in 1 2 3; do \
+		PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+			tests/test_concurrency_stress.py || exit 1; \
+	done
 
 # Domain invariant checker (stdlib-only; always available).
 staticcheck:

@@ -60,7 +60,9 @@ def _warm_init(fastpath_on: bool) -> None:
 #: The persistent campaign pool.  Spawning a ProcessPoolExecutor per
 #: campaign call re-pays worker startup and module imports on every
 #: figure; one warm pool is reused across every campaign in the process
-#: and torn down at exit.
+#: and torn down at exit.  Main-thread confined (docs/CONCURRENCY.md):
+#: only campaign drivers rebind these, never the service or a worker, so
+#: no lock is needed — R007 tracks exactly this kind of global.
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_config: Optional[Tuple[int, bool]] = None
 

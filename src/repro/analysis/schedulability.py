@@ -63,6 +63,10 @@ __all__ = [
 #: admits, so sharing one cache turns those repeats into dict lookups.
 #: Analyses under models whose cost curves cannot be fingerprinted
 #: (``task_set_cache_key`` returns ``None``) bypass the cache entirely.
+#: Written from two thread domains — the main thread (campaigns) and the
+#: ``ServerThread`` event loop (service ``analyze``) — which is safe
+#: because :class:`~repro.util.lru.LRUCache` locks internally
+#: (staticcheck R007 verifies exactly this; see docs/CONCURRENCY.md).
 ANALYSIS_CACHE = LRUCache(capacity=65536)
 
 

@@ -232,29 +232,49 @@ class ServerThread:
                 self._started.set()
 
     def start(self, timeout: float = 10.0) -> Tuple[str, int]:
-        """Launch the thread; returns the bound address once listening."""
+        """Launch the thread; returns the bound address once listening.
+
+        A failed start (port in use, timeout) unwinds completely — the
+        thread is asked to shut down and joined, and the ``ServerThread``
+        is left exactly as before the call, so a retry (e.g. with a
+        different port) is possible and no half-started daemon leaks.
+        """
         if self._thread is not None:
             raise RuntimeError("server thread already started")
-        self._thread = threading.Thread(target=self._main,
-                                        name="repro-admission-server",
-                                        daemon=True)
-        self._thread.start()
-        if not self._started.wait(timeout):
-            raise RuntimeError("server did not start in time")
-        if self._startup_error is not None:
-            raise RuntimeError(
-                f"server failed to start: {self._startup_error}")
+        self._started.clear()
+        self._startup_error = None
+        thread = threading.Thread(target=self._main,
+                                  name="repro-admission-server",
+                                  daemon=True)
+        self._thread = thread
+        thread.start()
+        try:
+            if not self._started.wait(timeout):
+                raise RuntimeError("server did not start in time")
+            if self._startup_error is not None:
+                raise RuntimeError(
+                    f"server failed to start: {self._startup_error}")
+        except Exception:
+            loop = self._loop
+            if loop is not None and loop.is_running():
+                loop.call_soon_threadsafe(self.server.request_shutdown)
+            thread.join(timeout)
+            self._thread = None
+            self._loop = None
+            raise
         assert self.server.address is not None
         return self.server.address
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Request shutdown and join the thread (idempotent)."""
+        """Request shutdown and join the thread (idempotent: safe to call
+        twice, or after a failed :meth:`start`)."""
         if self._thread is None:
             return
         if self._loop is not None and self._loop.is_running():
             self._loop.call_soon_threadsafe(self.server.request_shutdown)
         self._thread.join(timeout)
         self._thread = None
+        self._loop = None
 
     def __enter__(self) -> Tuple[str, int]:
         """Start the server; the context value is the bound address."""

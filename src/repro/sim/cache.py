@@ -204,6 +204,17 @@ class HyperperiodMemo:
     repeat (aperiodic-looking affinity state; avoids unbounded snapshot
     memory).  Tracing disables the memo entirely — a tiled cycle records
     no allocations — as do nonzero phases (the simulator gates on both).
+
+    Concurrency (docs/CONCURRENCY.md): :data:`HYPERPERIOD_CACHE` itself
+    is internally locked, but the *inner* per-configuration dict a memo
+    fetches from it is mutated in place (``self._cached[sig] = delta``)
+    without a lock.  That is safe because simulations only ever run on
+    the main thread of their process (campaign drivers, or a campaign
+    worker's own main thread) — the admission service never simulates.
+    Growing a dict under the GIL is atomic per operation, and two
+    processes each mutate their own copy.  If simulations are ever
+    offloaded to threads, give the inner dict the same lock treatment as
+    :class:`~repro.util.lru.LRUCache`.
     """
 
     #: Boundaries sampled before giving up on finding a cycle.

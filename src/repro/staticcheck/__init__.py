@@ -23,6 +23,25 @@ Rules (see :mod:`repro.staticcheck.rules` and docs/STATIC_ANALYSIS.md):
 * **R005 hygiene** — no mutable default arguments, bare ``except``, or
   control-flow ``assert`` in library code.
 
+Four further rules are *interprocedural*: they run over a project-wide
+symbol table / call graph (:mod:`repro.staticcheck.callgraph`) with
+thread-domain inference (:mod:`repro.staticcheck.domains`), enforcing
+the concurrency model written down in docs/CONCURRENCY.md:
+
+* **R006 blocking-in-async** — no blocking calls (``time.sleep``,
+  ``open``, ``subprocess``, socket connects, …) reachable from
+  event-loop code.
+* **R007 domain-confinement** — no module-level mutable state written
+  from two thread domains without a recognised lock.
+* **R008 lock-discipline** — no lock-order cycles (lexical or through
+  calls), no ``await`` under a sync lock, no bare ``acquire()``.
+* **R009 fork-safety** — nothing transitively holding a lock, socket,
+  or event loop crosses a process boundary.
+
+Call-graph resolution is unsound in the direction of silence: dynamic
+dispatch degrades to an ``unknown`` target, so these rules miss dynamic
+code but never invent findings.
+
 Violations are suppressed line-by-line with ``# staticcheck:
 allow[R001]`` pragmas (a justification comment is expected next to every
 pragma) or, transitionally, via a committed JSON baseline that makes CI
@@ -31,6 +50,8 @@ fail only on *new* violations.
 
 from __future__ import annotations
 
+from .callgraph import ProjectIndex
+from .domains import DomainAnalysis
 from .engine import CheckResult, Checker, ModuleInfo, run_checks
 from .rules import RULES, Rule
 from .violations import Violation
@@ -38,7 +59,9 @@ from .violations import Violation
 __all__ = [
     "Checker",
     "CheckResult",
+    "DomainAnalysis",
     "ModuleInfo",
+    "ProjectIndex",
     "run_checks",
     "RULES",
     "Rule",

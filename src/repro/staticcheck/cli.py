@@ -29,7 +29,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.staticcheck",
         description="AST-based invariant checker: exactness, determinism, "
-                    "layering, key-width safety, hygiene.",
+                    "layering, key-width safety, hygiene, and the "
+                    "interprocedural concurrency rules (R006-R009).",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path, default=None,

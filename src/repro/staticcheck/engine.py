@@ -164,6 +164,16 @@ class Checker:
         for rule in self.rules:
             raw.extend(rule.finalize(modules))
 
+        project_rules = [r for r in self.rules
+                         if getattr(r, "uses_project", False)]
+        if project_rules:
+            # Deferred import: callgraph imports ModuleInfo from here.
+            from .callgraph import ProjectIndex
+
+            project = ProjectIndex(modules)
+            for rule in project_rules:
+                raw.extend(rule.check_project(project))
+
         kept: List[Violation] = []
         suppressed = 0
         for violation in raw:

@@ -14,10 +14,14 @@ means.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 from .engine import ModuleInfo
 from .violations import Violation
+
+if TYPE_CHECKING:
+    from .callgraph import ProjectIndex
 
 __all__ = [
     "Rule",
@@ -33,16 +37,25 @@ __all__ = [
 
 class Rule:
     """Base class: subclasses set the id/name/description and override
-    one or both hooks."""
+    one or more hooks."""
 
     rule_id = "R000"
     name = "abstract"
     description = ""
+    #: Set to True by rules that override ``check_project`` — the engine
+    #: builds the (expensive) ProjectIndex only when a selected rule
+    #: actually needs it.
+    uses_project = False
 
     def check_module(self, module: ModuleInfo) -> Iterable[Violation]:
         return ()
 
     def finalize(self, modules: Sequence[ModuleInfo]) -> Iterable[Violation]:
+        return ()
+
+    def check_project(self, project: "ProjectIndex") -> Iterable[Violation]:
+        """Whole-project hook: runs once with the cross-module symbol
+        table / call graph (see :mod:`~repro.staticcheck.callgraph`)."""
         return ()
 
     def _violation(self, module: ModuleInfo, node: ast.AST,
@@ -643,6 +656,10 @@ class HygieneRule(Rule):
                 and test.comparators[0].value is None)
 
 
+#: The concurrency rules live in their own module; the import sits at the
+#: bottom because concurrency.py subclasses Rule (defined above).
+from .concurrency import CONCURRENCY_RULES  # noqa: E402
+
 #: The default rule set, in id order.
 RULES: Tuple[Rule, ...] = (
     ExactnessRule(),
@@ -650,4 +667,4 @@ RULES: Tuple[Rule, ...] = (
     LayeringRule(),
     KeyWidthRule(),
     HygieneRule(),
-)
+) + CONCURRENCY_RULES

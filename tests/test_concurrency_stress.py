@@ -1,0 +1,174 @@
+"""Concurrency stress and lifecycle tests for the service layer.
+
+Two of this PR's acceptance criteria live here:
+
+* **the cross-domain cache race**: ``ANALYSIS_CACHE`` is written from the
+  ``ServerThread`` event loop (service ``analyze``) and from campaign
+  code on the main thread.  The stress test drives both at once — several
+  client threads hammering ``admit``/``query``/``leave`` while the main
+  thread runs a schedulability campaign over overlapping task sets — and
+  then checks the system is still coherent.  Before ``LRUCache`` grew its
+  internal lock this interleaving could corrupt the LRU's recency list;
+  the test must pass repeatably (CI runs it three times).
+
+* **``ServerThread`` lifecycle robustness**: a failed ``start`` (port in
+  use, or timeout) must unwind completely — no half-started daemon
+  thread, retry possible — and ``stop`` must be idempotent.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.analysis.experiments import run_schedulability_campaign
+from repro.analysis.schedulability import ANALYSIS_CACHE
+from repro.service import AdmissionClient, ServerThread, ServiceState
+from repro.workload.spec import TaskSpec
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+Q = 1000  # default quantum in ticks
+
+
+def spec(e_quanta, p_quanta, name):
+    return TaskSpec(e_quanta * Q, p_quanta * Q, name=name)
+
+
+class TestServiceCampaignStress:
+    CLIENTS = 4
+    ROUNDS = 15
+
+    def _client_worker(self, host, port, worker_id, errors):
+        """admit → query → leave loops, each round a fresh task pair."""
+        try:
+            with AdmissionClient(host, port) as client:
+                for round_no in range(self.ROUNDS):
+                    names = [f"w{worker_id}.{round_no}.a",
+                             f"w{worker_id}.{round_no}.b"]
+                    r = client.admit([spec(1, 4, names[0]),
+                                      spec(1, 5, names[1])])
+                    client.query(tasks=[spec(1, 3, "probe")])
+                    if r["admitted"]:
+                        client.leave(*names)
+        except Exception as exc:  # noqa: BLE001 — reported to the main thread
+            errors.append((worker_id, exc))
+
+    def test_concurrent_admits_during_campaign(self):
+        """Service traffic on the ServerThread loop + a campaign on the
+        main thread, sharing ANALYSIS_CACHE, must both finish coherent."""
+        state = ServiceState(4)
+        errors = []
+        with ServerThread(state) as (host, port):
+            threads = [
+                threading.Thread(target=self._client_worker,
+                                 args=(host, port, i, errors))
+                for i in range(self.CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            # The campaign runs serially on the main thread (workers=1):
+            # every evaluate_task_set call reads/writes ANALYSIS_CACHE
+            # while the service's analyze verb does the same on the loop.
+            rows = run_schedulability_campaign(
+                3, [0.5, 0.8, 1.1], sets_per_point=6, seed=42)
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads), \
+                "client workers wedged"
+        assert errors == []
+        assert len(rows) == 3
+        # Every client left what it admitted.  Departures are lazy (the
+        # paper's Sec. 4 rules free weight at a future slot), so tasks
+        # stay listed until the schedule advances — but every one of them
+        # must have a departure pending, and Eq. (2) must still hold.
+        description = state.describe()
+        assert all(t["departs_at"] is not None for t in description["tasks"])
+        assert description["feasible"]
+        info = ANALYSIS_CACHE.info()
+        assert info["size"] <= info["capacity"]
+
+    def test_campaign_results_unchanged_by_concurrent_service_load(self):
+        """Determinism across the race: the same campaign run with and
+        without concurrent service traffic yields identical rows."""
+        quiet = run_schedulability_campaign(3, [0.6, 0.9],
+                                            sets_per_point=5, seed=7)
+        state = ServiceState(4)
+        errors = []
+        with ServerThread(state) as (host, port):
+            threads = [
+                threading.Thread(target=self._client_worker,
+                                 args=(host, port, i, errors))
+                for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            busy = run_schedulability_campaign(3, [0.6, 0.9],
+                                               sets_per_point=5, seed=7)
+            for t in threads:
+                t.join(timeout=60)
+        assert errors == []
+        assert busy == quiet
+
+
+class TestServerThreadLifecycle:
+    def test_stop_is_idempotent(self):
+        srv = ServerThread(ServiceState(1))
+        srv.start()
+        srv.stop()
+        srv.stop()  # second stop: no-op, no error
+        assert srv._thread is None
+
+    def test_stop_without_start_is_a_noop(self):
+        srv = ServerThread(ServiceState(1))
+        srv.stop()
+        assert srv._thread is None
+
+    def test_failed_start_port_in_use_unwinds_completely(self):
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            before = threading.active_count()
+            srv = ServerThread(ServiceState(1), port=port)
+            with pytest.raises(RuntimeError, match="failed to start"):
+                srv.start()
+            # No half-started daemon thread may remain.
+            assert srv._thread is None
+            assert threading.active_count() == before
+            # stop() after the failed start is safe.
+            srv.stop()
+        finally:
+            blocker.close()
+
+    def test_start_can_be_retried_after_failure(self):
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            srv = ServerThread(ServiceState(1), port=port)
+            with pytest.raises(RuntimeError):
+                srv.start()
+            # Retry on a free ephemeral port must succeed and serve.
+            srv.server.port = 0
+            srv.server.address = None
+            host, bound = srv.start()
+            try:
+                with AdmissionClient(host, bound) as client:
+                    assert client.ping()["pong"]
+            finally:
+                srv.stop()
+            assert srv._thread is None
+        finally:
+            blocker.close()
+
+    def test_double_start_still_raises(self):
+        srv = ServerThread(ServiceState(1))
+        srv.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                srv.start()
+        finally:
+            srv.stop()

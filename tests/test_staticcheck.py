@@ -457,10 +457,11 @@ class TestCli:
                                  "--baseline", str(baseline)]) == 1
         capsys.readouterr()
 
-    def test_list_rules_names_all_five(self, capsys):
+    def test_list_rules_names_all_nine(self, capsys):
         assert staticcheck_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        for rule_id in ("R001", "R002", "R003", "R004", "R005",
+                        "R006", "R007", "R008", "R009"):
             assert rule_id in out
 
     def test_repro_lint_subcommand_forwards(self, capsys):
