@@ -11,8 +11,8 @@ count.
 
 from conftest import full_scale, write_report
 
-from repro.analysis.crossover import find_crossover
 from repro.analysis.report import format_table
+from repro.campaign import find_crossover
 
 NS = [50, 100, 250] if full_scale() else [50, 100]
 POINTS = 14 if full_scale() else 8

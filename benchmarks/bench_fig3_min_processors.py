@@ -13,8 +13,9 @@ while PD²'s quantisation loss shrinks.
 import pytest
 from conftest import full_scale, write_report
 
-from repro.analysis.experiments import run_schedulability_campaign, utilization_grid
+from repro.analysis.experiments import utilization_grid
 from repro.analysis.figures import fig3_table
+from repro.campaign import run_schedulability_campaign
 from repro.analysis.report import format_series_plot
 
 NS = [50, 100, 250, 500] if full_scale() else [50, 100, 250]

@@ -17,8 +17,9 @@ low utilization), and grows with mean task utilization.
 import pytest
 from conftest import full_scale, write_report
 
-from repro.analysis.experiments import run_schedulability_campaign, utilization_grid
+from repro.analysis.experiments import utilization_grid
 from repro.analysis.figures import fig4_table
+from repro.campaign import run_schedulability_campaign
 from repro.analysis.report import format_series_plot
 
 NS = [50, 100] if full_scale() else [50]

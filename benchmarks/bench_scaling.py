@@ -26,12 +26,9 @@ import time
 import pytest
 from conftest import OUT_DIR, full_scale, write_report
 
-from repro.analysis.experiments import (
-    run_schedulability_campaign,
-    shutdown_worker_pool,
-    utilization_grid,
-)
+from repro.analysis.experiments import utilization_grid
 from repro.analysis.report import format_table
+from repro.campaign import run_schedulability_campaign, shutdown_worker_pool
 from repro.analysis.schedulability import ANALYSIS_CACHE
 from repro.sim.cache import HYPERPERIOD_CACHE
 from repro.sim.quantum import simulate_pfair

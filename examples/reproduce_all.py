@@ -10,9 +10,8 @@ Run:  python examples/reproduce_all.py
 
 import time
 
-from repro.analysis.crossover import find_crossover
-from repro.analysis.experiments import run_schedulability_campaign
 from repro.analysis.figures import fig1_report, fig5_report
+from repro.campaign import find_crossover, run_schedulability_campaign
 from repro.overheads.measure import measure_edf_overhead, measure_pd2_overhead
 
 

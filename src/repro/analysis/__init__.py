@@ -1,14 +1,13 @@
 """Analysis: sample statistics with 99% CIs, overhead-aware schedulability
-evaluation (Figs. 3–4), campaign runners, and ASCII reporting."""
+evaluation (Figs. 3–4), campaign persistence, and ASCII reporting.
 
-from .crossover import CrossoverResult, find_crossover
+Campaign *execution* (the sweep driver, crossover scan, and worker pool)
+lives one layer up in :mod:`repro.campaign`; this package provides what
+those sweeps evaluate and how their results are summarised and stored.
+"""
+
+from .experiments import CampaignRow, full_scale, utilization_grid
 from .persistence import load_campaign, merge_campaigns, save_campaign
-from .experiments import (
-    CampaignRow,
-    full_scale,
-    run_schedulability_campaign,
-    utilization_grid,
-)
 from .report import format_series_plot, format_table, print_table
 from .schedulability import (
     SchedulabilityPoint,
@@ -20,14 +19,11 @@ from .stats import SampleStats, confidence_halfwidth, summarize
 from .tardiness import TardinessProfile, epdf_tardiness_experiment, tardiness_profile
 
 __all__ = [
-    "CrossoverResult",
-    "find_crossover",
     "save_campaign",
     "load_campaign",
     "merge_campaigns",
     "CampaignRow",
     "full_scale",
-    "run_schedulability_campaign",
     "utilization_grid",
     "format_table",
     "format_series_plot",

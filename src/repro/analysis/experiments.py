@@ -1,94 +1,32 @@
-"""Campaign runner: seeded parameter sweeps over random task sets.
+"""Campaign vocabulary: grids, scale flags, and the aggregated row.
 
 The paper's Figs. 3–4 are Monte-Carlo sweeps: for each task count ``N``
 and each target total utilization (from ``N/30`` to ``N/3``), generate
-many random sets, evaluate each, and plot means with 99% CIs.  This module
-runs exactly that, scaled by ``sets_per_point`` (the paper used 1000; the
-default benches use fewer and print CIs so the precision is visible —
-``REPRO_FULL=1`` restores paper scale).
+many random sets, evaluate each, and plot means with 99% CIs.  The
+*execution* of those sweeps — sharding, dispatch, retry, checkpointing —
+lives in :mod:`repro.campaign` (see ``docs/CAMPAIGNS.md``); this module
+keeps the pieces the rest of the analysis layer shares with it: the
+utilization grid, the paper-scale environment flag, and
+:class:`CampaignRow`, the aggregate that persistence and the figure
+formatters consume.  (``run_schedulability_campaign`` itself moved to
+:func:`repro.campaign.sched.run_schedulability_campaign`; the campaign
+layer sits above analysis in the import DAG, so the driver could not
+stay here once it grew checkpointing and a worker-pool policy.)
 """
 
 from __future__ import annotations
 
-import atexit
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List
 
-from ..overheads.model import OverheadModel
-from ..util.toggles import fastpath_enabled
-from ..workload.generator import TaskSetGenerator
-from .schedulability import SchedulabilityPoint, evaluate_task_set
-from .stats import SampleStats, summarize
+from .stats import SampleStats
 
 __all__ = [
     "full_scale",
     "utilization_grid",
     "CampaignRow",
-    "run_schedulability_campaign",
-    "shutdown_worker_pool",
 ]
-
-
-def _evaluate_grid_point(args: Tuple[int, float, int, int,
-                                     Optional[OverheadModel]]
-                         ) -> List[SchedulabilityPoint]:
-    """Worker for one (N, U) grid point — module-level so it pickles.
-
-    Campaign points are embarrassingly parallel: each owns a generator
-    seeded from ``(seed, point index)``, so the parallel and serial runs
-    produce byte-identical statistics.
-    """
-    n_tasks, u, sets_per_point, point_seed, model = args
-    if model is None:
-        model = OverheadModel()
-    gen = TaskSetGenerator(point_seed)
-    return [evaluate_task_set(gen.generate(n_tasks, u), model)
-            for _ in range(sets_per_point)]
-
-
-def _warm_init(fastpath_on: bool) -> None:
-    """Worker initializer: inherit the fast-path toggle and pay the heavy
-    imports once per worker instead of once per task batch."""
-    from ..util.toggles import set_fastpath
-
-    set_fastpath(fastpath_on)
-    from . import schedulability  # noqa: F401  (pulls in the whole chain)
-
-
-#: The persistent campaign pool.  Spawning a ProcessPoolExecutor per
-#: campaign call re-pays worker startup and module imports on every
-#: figure; one warm pool is reused across every campaign in the process
-#: and torn down at exit.  Main-thread confined (docs/CONCURRENCY.md):
-#: only campaign drivers rebind these, never the service or a worker, so
-#: no lock is needed — R007 tracks exactly this kind of global.
-_pool: Optional[ProcessPoolExecutor] = None
-_pool_config: Optional[Tuple[int, bool]] = None
-
-
-def _worker_pool(workers: int) -> ProcessPoolExecutor:
-    global _pool, _pool_config
-    config = (workers, fastpath_enabled())
-    if _pool is None or _pool_config != config:
-        shutdown_worker_pool()
-        _pool = ProcessPoolExecutor(max_workers=workers,
-                                    initializer=_warm_init,
-                                    initargs=(config[1],))
-        _pool_config = config
-    return _pool
-
-
-def shutdown_worker_pool() -> None:
-    """Tear down the warm campaign pool (idempotent; re-created on use)."""
-    global _pool, _pool_config
-    if _pool is not None:
-        _pool.shutdown(wait=True, cancel_futures=True)
-        _pool = None
-        _pool_config = None
-
-
-atexit.register(shutdown_worker_pool)
 
 
 def full_scale() -> bool:
@@ -119,64 +57,3 @@ class CampaignRow:
     loss_ff: SampleStats
     infeasible_pd2: int
     infeasible_ff: int
-
-
-def run_schedulability_campaign(
-    n_tasks: int,
-    utilizations: Sequence[float],
-    *,
-    sets_per_point: int = 50,
-    seed: int = 0,
-    model: Optional[OverheadModel] = None,
-    progress: Optional[Callable[[str], None]] = None,
-    workers: int = 1,
-) -> List[CampaignRow]:
-    """The Fig. 3/4 campaign for one task count.
-
-    One seeded generator per grid point (seed offset by the point index)
-    keeps points independently reproducible and embarrassingly parallel:
-    with ``workers > 1`` the grid points run in a process pool and the
-    results are byte-identical to the serial run.  (The per-set work is
-    pure Python, so processes — not threads — are what buys wall-clock;
-    default models pickle fine, custom ``sched_*`` callables must too.)
-    """
-    jobs = [(n_tasks, u, sets_per_point, seed + 7919 * k, model)
-            for k, u in enumerate(utilizations)]
-    if workers > 1:
-        if fastpath_enabled():
-            # The pool is warm (persistent across campaign calls, workers
-            # pre-seeded with the fast-path toggle and the analysis
-            # imports); chunking amortises pickling over several grid
-            # points per trip.
-            pool = _worker_pool(workers)
-            chunk = max(1, len(jobs) // (workers * 4))
-            all_points = list(pool.map(_evaluate_grid_point, jobs,
-                                       chunksize=chunk))
-        else:
-            # --no-fastpath: the original throwaway pool, for A/B runs.
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                all_points = list(pool.map(_evaluate_grid_point, jobs))
-    else:
-        all_points = [_evaluate_grid_point(job) for job in jobs]
-    rows: List[CampaignRow] = []
-    for u, points in zip(utilizations, all_points):
-        if progress is not None:
-            progress(f"N={n_tasks} U={u:.2f}: {len(points)} sets evaluated")
-        m_pd2 = [p.m_pd2 for p in points if p.m_pd2 is not None]
-        m_ff = [p.m_ff for p in points if p.m_ff is not None]
-        lp = [p.loss_pfair for p in points if p.loss_pfair is not None]
-        le = [p.loss_edf for p in points if p.loss_edf is not None]
-        lf = [p.loss_ff for p in points if p.loss_ff is not None]
-        rows.append(CampaignRow(
-            n_tasks=n_tasks,
-            utilization=u,
-            mean_utilization=u / n_tasks,
-            m_pd2=summarize(m_pd2 or [float("nan")]),
-            m_ff=summarize(m_ff or [float("nan")]),
-            loss_pfair=summarize(lp or [float("nan")]),
-            loss_edf=summarize(le or [float("nan")]),
-            loss_ff=summarize(lf or [float("nan")]),
-            infeasible_pd2=sum(1 for p in points if p.m_pd2 is None),
-            infeasible_ff=sum(1 for p in points if p.m_ff is None),
-        ))
-    return rows

@@ -12,6 +12,11 @@ point from the top of the range downward at which PD²'s mean processor
 count is at most EDF-FF's, with both means estimated over ``sets_per
 point`` random sets.  Expressed as *mean task utilization* (U/N) the
 crossover is comparable across task counts.
+
+(This module lives in ``repro.campaign`` because the scan *is* a
+campaign — it moved here from ``repro.analysis`` when the sweep driver
+did, keeping the layer DAG acyclic: campaign imports analysis, never
+the reverse.)
 """
 
 from __future__ import annotations
@@ -19,8 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..analysis.experiments import CampaignRow, utilization_grid
 from ..overheads.model import OverheadModel
-from .experiments import CampaignRow, run_schedulability_campaign
+from .sched import run_schedulability_campaign
 
 __all__ = ["CrossoverResult", "find_crossover"]
 
@@ -59,8 +65,6 @@ def find_crossover(n_tasks: int, *, points: int = 10,
     tied — matching how the paper describes the curves ("after which PD²
     gives slightly better performance").
     """
-    from .experiments import utilization_grid
-
     grid = list(utilizations) if utilizations is not None \
         else utilization_grid(n_tasks, points=points)
     rows = run_schedulability_campaign(

@@ -1,0 +1,98 @@
+"""Shard progress accounting: done/total, retries, throughput, ETA.
+
+One :class:`ProgressTracker` per campaign run, confined to the runner's
+dispatching thread (the :mod:`repro.util.metrics` primitives take no
+locks — see that module's contract).  Its :meth:`~ProgressTracker.
+snapshot` is the schema of ``status.json``, which ``repro campaign
+status`` renders for a live run.
+
+The tracker is deliberately clock-free: every method takes the current
+monotonic time as an argument instead of reading a clock, which keeps
+this module inside staticcheck R002's determinism scope and makes the
+arithmetic (throughput, ETA) trivially unit-testable with synthetic
+timestamps.  Only the runner touches real clocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..util.metrics import Counter, LatencyHistogram
+
+__all__ = ["ProgressTracker"]
+
+
+class ProgressTracker:
+    """Accounting for one campaign run's shard lifecycle events.
+
+    ``record_retry`` labels name *why* a shard went back into the queue:
+    ``"timeout"`` (exceeded its per-shard budget), ``"worker-death"``
+    (``BrokenProcessPool`` — includes innocent shards resubmitted after a
+    sibling killed the pool), or ``"error"`` (the shard raised).
+    """
+
+    def __init__(self, total_shards: int,
+                 completed_before_start: int = 0) -> None:
+        if total_shards < 1:
+            raise ValueError("a campaign has at least one shard")
+        self.total_shards = total_shards
+        #: Shards restored from checkpoints on resume — counted as done
+        #: but excluded from throughput (this run didn't pay for them).
+        self.completed_before_start = completed_before_start
+        self.done = Counter()
+        self.retries = Counter()
+        self.latency = LatencyHistogram()
+        self._started_at: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        """Mark dispatch start (``now`` = monotonic seconds)."""
+        self._started_at = now
+
+    def record_success(self, latency_seconds: float) -> None:
+        """One shard finished and checkpointed."""
+        self.done.inc()
+        self.latency.observe(latency_seconds)
+
+    def record_retry(self, reason: str) -> None:
+        """One shard went back into the queue (see class docstring)."""
+        self.retries.inc(reason)
+
+    @property
+    def shards_done(self) -> int:
+        """Shards complete, including those restored on resume."""
+        return self.completed_before_start + self.done.total()
+
+    @property
+    def finished(self) -> bool:
+        """True once every planned shard has a checkpoint."""
+        return self.shards_done >= self.total_shards
+
+    def snapshot(self, now: float, *, state: str,
+                 updated: str = "") -> Dict[str, Any]:
+        """The ``status.json`` payload.
+
+        ``state`` is the run lifecycle (``running`` / ``complete`` /
+        ``interrupted`` / ``failed``); ``updated`` is a wall-clock string
+        supplied by the runner — provenance only, like every timestamp in
+        the run directory.
+        """
+        elapsed = (now - self._started_at
+                   if self._started_at is not None else 0.0)
+        done_here = self.done.total()
+        throughput = done_here / elapsed if elapsed > 0 else None
+        remaining = self.total_shards - self.shards_done
+        eta = (remaining / throughput
+               if throughput and remaining > 0 else None)
+        return {
+            "state": state,
+            "updated": updated,
+            "shards_total": self.total_shards,
+            "shards_done": self.shards_done,
+            "shards_resumed": self.completed_before_start,
+            "retries": self.retries.as_dict(),
+            "elapsed_seconds": round(elapsed, 3),
+            "throughput_shards_per_sec": (round(throughput, 4)
+                                          if throughput else None),
+            "eta_seconds": round(eta, 1) if eta is not None else None,
+            "shard_latency": self.latency.summary(),
+        }

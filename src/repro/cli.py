@@ -7,6 +7,10 @@ Quick access to the library's main entry points without writing a script:
 * ``fig1`` ``fig5``        — regenerate the paper's illustrative figures
 * ``fig3`` ``fig4``        — run a (scaled) Fig. 3 / Fig. 4 campaign;
   ``--jobs N`` parallelises the grid over a process pool
+* ``campaign run|resume|status`` — the same campaigns through the
+  fault-tolerant engine: shards checkpoint into a run directory, an
+  interrupted run resumes byte-identically, ``status`` reports live
+  progress (see docs/CAMPAIGNS.md)
 * ``compare E/P [E/P...]`` — minimum processors under PD² vs EDF-FF with
   the paper's overhead constants (weights are given in quanta)
 * ``serve``                — run the admission-control service (TCP,
@@ -23,8 +27,10 @@ import argparse
 import sys
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
-from .analysis.experiments import run_schedulability_campaign, utilization_grid
+from .analysis.experiments import utilization_grid
 from .analysis.figures import fig1_report, fig3_table, fig4_table, fig5_report
+from .campaign import (RunnerConfig, run_schedulability_campaign,
+                       shutdown_worker_pool)
 from .analysis.schedulability import edf_ff_min_processors, pd2_min_processors
 from .core.task import PeriodicTask, TaskSet
 from .overheads.model import OverheadModel
@@ -168,6 +174,100 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     return _campaign(args, fig4_table)
 
 
+def _campaign_config(args: argparse.Namespace) -> RunnerConfig:
+    return RunnerConfig(workers=args.jobs,
+                        shard_timeout=args.shard_timeout,
+                        max_retries=args.retries)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    _apply_fastpath_flag(args)
+    from .campaign import CampaignIncomplete, RunDirError
+
+    grid = utilization_grid(args.tasks, points=args.points)
+    try:
+        rows = run_schedulability_campaign(
+            args.tasks, grid, sets_per_point=args.sets, seed=args.seed,
+            replicas=args.replicas, run_dir=args.run_dir, resume=False,
+            config=_campaign_config(args),
+            progress=lambda msg: print(msg, file=sys.stderr))
+    except RunDirError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except CampaignIncomplete as exc:
+        print(f"campaign incomplete: {exc}", file=sys.stderr)
+        return 1
+    formatter = fig4_table if args.fig == 4 else fig3_table
+    print(formatter(rows, args.tasks, args.sets))
+    print(f"[campaign checkpointed in {args.run_dir}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    _apply_fastpath_flag(args)
+    from .campaign import CampaignIncomplete, CheckpointStore, RunDirError
+
+    store = CheckpointStore(args.run_dir)
+    try:
+        grid = store.load_grid()
+    except (RunDirError, OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        rows = run_schedulability_campaign(
+            grid.n_tasks, grid.utilizations,
+            sets_per_point=grid.sets_per_point, seed=grid.seed,
+            replicas=grid.replicas, run_dir=args.run_dir, resume=True,
+            config=_campaign_config(args),
+            progress=lambda msg: print(msg, file=sys.stderr))
+    except CampaignIncomplete as exc:
+        print(f"campaign incomplete: {exc}", file=sys.stderr)
+        return 1
+    formatter = fig4_table if args.fig == 4 else fig3_table
+    print(formatter(rows, grid.n_tasks, grid.sets_per_point))
+    print(f"[campaign complete in {args.run_dir}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign import CheckpointStore, RunDirError
+
+    store = CheckpointStore(args.run_dir)
+    try:
+        manifest = store.load_manifest()
+    except (RunDirError, OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    g = manifest["grid"]
+    print(f"campaign in {args.run_dir}: N={g['n_tasks']}, "
+          f"{len(g['utilizations'])} points x {g['replicas']} replica(s), "
+          f"{g['sets_per_point']} sets/point, seed {g['seed']} "
+          f"(created {manifest['created']})")
+    status = store.read_status()
+    if status is None:
+        print("state: planned (no status written yet)")
+        return 0
+    print(f"state: {status['state']}   shards: {status['shards_done']}"
+          f"/{status['shards_total']}"
+          + (f" ({status['shards_resumed']} restored from checkpoints)"
+             if status.get("shards_resumed") else ""))
+    retries = status.get("retries", {})
+    print("retries: " + (", ".join(f"{k}={v}"
+                                   for k, v in sorted(retries.items()))
+                         if retries else "none"))
+    tput = status.get("throughput_shards_per_sec")
+    if tput:
+        eta = status.get("eta_seconds")
+        print(f"throughput: {tput} shards/s"
+              + (f", eta {eta:.0f}s" if eta is not None else ""))
+    lat = status.get("shard_latency", {})
+    if lat.get("count"):
+        print(f"shard latency: p50 {lat['p50_ms']} ms, "
+              f"p90 {lat['p90_ms']} ms, max {lat['max_ms']} ms "
+              f"over {lat['count']} shard(s)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -260,6 +360,57 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from .staticcheck.cli import main as staticcheck_main
 
     return staticcheck_main(list(getattr(args, "lint_args", []) or []))
+
+
+def _add_campaign_commands(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    p = sub.add_parser(
+        "campaign",
+        help="fault-tolerant campaigns: checkpointed shards in a run "
+             "directory (docs/CAMPAIGNS.md)")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def dispatch_opts(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--jobs", "-j", "--workers", dest="jobs", type=int,
+                        default=1, metavar="N",
+                        help="worker processes (results are byte-identical "
+                             "to the serial run)")
+        cp.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-shard deadline; a late shard is "
+                             "resubmitted (parallel runs only)")
+        cp.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry budget per shard for errors/timeouts "
+                             "(worker deaths are recovered unbudgeted)")
+        cp.add_argument("--fig", type=int, choices=(3, 4), default=3,
+                        help="which table to print from the finished rows")
+        cp.add_argument("--no-fastpath", action="store_true",
+                        help="force the reference analysis code paths")
+
+    cp = csub.add_parser("run", help="start a checkpointed campaign")
+    cp.add_argument("run_dir", help="run directory (created if missing)")
+    cp.add_argument("--tasks", type=int, default=50)
+    cp.add_argument("--points", type=int, default=8)
+    cp.add_argument("--sets", type=int, default=15)
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("--replicas", type=int, default=1,
+                    help="shards per grid point (finer checkpoints and "
+                         "more parallelism; changes the sampling split)")
+    dispatch_opts(cp)
+    cp.set_defaults(fn=_cmd_campaign_run)
+
+    cp = csub.add_parser(
+        "resume",
+        help="finish an interrupted campaign (grid comes from the "
+             "manifest; completed shards are skipped byte-for-byte)")
+    cp.add_argument("run_dir", help="existing run directory")
+    dispatch_opts(cp)
+    cp.set_defaults(fn=_cmd_campaign_resume)
+
+    cp = csub.add_parser("status",
+                         help="report a run's shard progress, retries, "
+                              "and throughput")
+    cp.add_argument("run_dir", help="existing run directory")
+    cp.set_defaults(fn=_cmd_campaign_status)
 
 
 def _add_service_commands(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
@@ -375,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "paths (disable caches and fast paths)")
         p.set_defaults(fn=fn)
 
+    _add_campaign_commands(sub)
     _add_service_commands(sub)
 
     # ``repro lint`` is normally handled before argparse in :func:`main`
@@ -404,7 +556,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return staticcheck_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # The campaign runner has already written its final status and
+        # checkpointed every finished shard; all that is left is to not
+        # leak the warm pool's worker processes.
+        shutdown_worker_pool()
+        print("interrupted; worker pool shut down (completed shards "
+              "remain checkpointed — `repro campaign resume` continues)",
+              file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,8 +11,9 @@ order.  Against a local server this is the difference between being
 bound by round trips and being bound by the admission analysis itself —
 ``benchmarks/bench_service_throughput.py`` quantifies it.
 
-Convenience verb methods (``admit``, ``query``, ``leave``, ``reweight``,
-``advance``, ``stats``, ``ping``, ``shutdown``) return the decoded
+Convenience verb methods (``admit``, ``query``, ``batch_analyze``,
+``leave``, ``reweight``, ``advance``, ``stats``, ``ping``, ``shutdown``)
+return the decoded
 response dict and raise :class:`ServiceResponseError` when the server
 answered ``ok: false`` — callers that want the raw envelope use
 :meth:`request`.
@@ -140,6 +141,19 @@ class AdmissionClient(_VerbMixin):
         wire = _wire_tasks(tasks) if tasks else None
         return _check(self.request("query", tasks=wire))
 
+    def batch_analyze(self, task_sets: Sequence[Sequence[TaskArg]], *,
+                      workers: Optional[int] = None) -> Dict[str, Any]:
+        """Analyse many independent task sets in one request.
+
+        ``response["results"]`` aligns with ``task_sets``; each entry is
+        an ``analyze`` payload or ``{"error": ...}`` for an invalid set.
+        ``workers`` asks the server to fan the misses out over its
+        campaign worker pool.
+        """
+        wire = [_wire_tasks(ts) for ts in task_sets]
+        return _check(self.request("batch-analyze", task_sets=wire,
+                                   workers=workers))
+
     def leave(self, *names: str) -> Dict[str, Any]:
         """Begin the departure of the named tasks."""
         return _check(self.request("leave", names=list(names)))
@@ -235,6 +249,13 @@ class AsyncAdmissionClient(_VerbMixin):
         """Async twin of :meth:`AdmissionClient.query`."""
         wire = _wire_tasks(tasks) if tasks else None
         return _check(await self.request("query", tasks=wire))
+
+    async def batch_analyze(self, task_sets: Sequence[Sequence[TaskArg]], *,
+                            workers: Optional[int] = None) -> Dict[str, Any]:
+        """Async twin of :meth:`AdmissionClient.batch_analyze`."""
+        wire = [_wire_tasks(ts) for ts in task_sets]
+        return _check(await self.request("batch-analyze", task_sets=wire,
+                                         workers=workers))
 
     async def leave(self, *names: str) -> Dict[str, Any]:
         """Async twin of :meth:`AdmissionClient.leave`."""

@@ -39,6 +39,8 @@ __all__ = [
     "decode_line",
     "parse_request",
     "parse_specs",
+    "parse_spec_sets",
+    "MAX_BATCH_SETS",
     "specs_to_wire",
     "ok_response",
     "error_response",
@@ -48,8 +50,12 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Every verb the server understands.
-VERBS = ("admit", "leave", "reweight", "query", "advance", "stats", "ping",
-         "shutdown")
+VERBS = ("admit", "leave", "reweight", "query", "batch-analyze", "advance",
+         "stats", "ping", "shutdown")
+
+#: Upper bound on task sets per ``batch-analyze`` request — keeps one
+#: request from monopolising the shared worker pool.
+MAX_BATCH_SETS = 1024
 
 #: Upper bound on one request line (also the asyncio stream limit).  A
 #: 1000-task admit is ~100 KB; 4 MB leaves two orders of magnitude slack.
@@ -110,6 +116,34 @@ def parse_specs(obj: Dict[str, Any], field: str = "tasks") -> List[TaskSpec]:
         return task_set_from_dict({"tasks": tasks})
     except ValueError as exc:
         raise ProtocolError("bad-request", str(exc)) from exc
+
+
+def parse_spec_sets(obj: Dict[str, Any], field: str = "task_sets"
+                    ) -> List[List[TaskSpec]]:
+    """Extract a list of task *sets* (``batch-analyze``): each element is
+    one task list in the same schema :func:`parse_specs` accepts."""
+    sets = obj.get(field)
+    if not isinstance(sets, list) or not sets:
+        raise ProtocolError(
+            "bad-request",
+            f"'{field}' must be a non-empty list of task lists")
+    if len(sets) > MAX_BATCH_SETS:
+        raise ProtocolError(
+            "bad-request",
+            f"'{field}' holds {len(sets)} sets, above the per-request "
+            f"limit of {MAX_BATCH_SETS}")
+    out: List[List[TaskSpec]] = []
+    for i, tasks in enumerate(sets):
+        if not isinstance(tasks, list) or not tasks:
+            raise ProtocolError(
+                "bad-request",
+                f"'{field}[{i}]' must be a non-empty list of tasks")
+        try:
+            out.append(task_set_from_dict({"tasks": tasks}))
+        except ValueError as exc:
+            raise ProtocolError("bad-request",
+                                f"'{field}[{i}]': {exc}") from exc
+    return out
 
 
 def specs_to_wire(specs: Sequence[TaskSpec]) -> List[Dict[str, Any]]:

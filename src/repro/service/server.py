@@ -29,7 +29,7 @@ from .batching import ConnectionPipeline
 from .metrics import MetricsRegistry
 from .protocol import (MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError,
                        error_response, ok_response, parse_request,
-                       parse_specs)
+                       parse_spec_sets, parse_specs)
 from .state import ServiceError, ServiceState
 
 __all__ = ["AdmissionServer", "ServerThread"]
@@ -159,6 +159,22 @@ class AdmissionServer:
                 return ok_response(rid, analysis=self.state.analyze(specs),
                                    system=self.state.describe())
             return ok_response(rid, system=self.state.describe())
+        if verb == "batch-analyze":
+            # Read-only but heavy: the campaign engine dispatches the
+            # sets over its process pool, and *waiting* on that pool
+            # would park the event loop — so the wait itself moves to a
+            # worker thread.  ``analyze_batch`` touches only the
+            # internally-locked LRU and the immutable model, never the
+            # live system, so no state lock is needed.
+            sets = parse_spec_sets(request)
+            workers = request.get("workers", 1)
+            if not isinstance(workers, int) or not 1 <= workers <= 64:
+                raise ProtocolError(
+                    "bad-request", "'workers' must be an integer in [1, 64]")
+            loop = asyncio.get_running_loop()
+            results = await loop.run_in_executor(
+                None, self.state.analyze_batch, sets, workers)
+            return ok_response(rid, results=results, count=len(results))
         if verb == "shutdown":
             self.request_shutdown()
             return ok_response(rid, closing=True)

@@ -103,6 +103,44 @@ class ServiceState:
             self.cache.put(key, result)
         return {**result, "cached": False}
 
+    def analyze_batch(self, task_sets: Sequence[Sequence[TaskSpec]],
+                      workers: int = 1) -> List[Dict[str, Any]]:
+        """Analyse many independent task sets, in input order.
+
+        ``workers`` is positional so the server can ship this bound
+        method straight through ``run_in_executor`` (which forwards
+        positional arguments only).
+
+        Cache hits are answered from this instance's LRU; the misses go
+        through the campaign engine's :func:`~repro.campaign.sched.
+        batch_analyze` (warm process pool, worker-death recovery) and
+        are cached on the way back.  Invalid sets come back as
+        ``{"error": ...}`` entries — one bad set never fails the batch.
+
+        Thread-safety: this method touches only the LRU (internally
+        locked) and the immutable model, never the live system, so the
+        server may run it off the event loop in an executor.
+        """
+        from ..campaign.sched import batch_analyze
+
+        keys = [task_set_cache_key(specs, self.model) for specs in task_sets]
+        out: List[Optional[Dict[str, Any]]] = [None] * len(task_sets)
+        misses: List[int] = []
+        for i, key in enumerate(keys):
+            hit = self.cache.get(key) if key is not None else None
+            if hit is not None:
+                out[i] = {**hit, "cached": True}
+            else:
+                misses.append(i)
+        if misses:
+            fresh = batch_analyze([task_sets[i] for i in misses],
+                                  model=self.model, workers=workers)
+            for i, result in zip(misses, fresh):
+                if "error" not in result and keys[i] is not None:
+                    self.cache.put(keys[i], result)
+                out[i] = {**result, "cached": False}
+        return [r for r in out if r is not None]  # all filled by now
+
     # -- conversions --------------------------------------------------------
 
     def _to_pfair_tasks(self, specs: Sequence[TaskSpec]) -> List[PeriodicTask]:

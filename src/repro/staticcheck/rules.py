@@ -152,16 +152,26 @@ class DeterminismRule(Rule):
     ``core/`` and ``sim/`` results are memoised across runs (hyperperiod
     cache, analysis cache) and replayed in differential tests, so any
     global-state RNG, wall-clock read, or environment read there breaks
-    reproducibility.  Environment toggles live in ``util/toggles.py`` —
-    the one sanctioned read point.
+    reproducibility.  ``campaign/`` is in scope because its checkpoints
+    promise byte-identical resume: shard planning and seeding must stay
+    clock-free (only the runner's dispatch loop may read clocks, for
+    backoff/timeouts/metrics — see :data:`CLOCK_EXEMPT_FILES`).
+    Environment toggles live in ``util/toggles.py`` — the one sanctioned
+    read point.
     """
 
     rule_id = "R002"
     name = "determinism"
     description = ("no seedless RNGs, wall-clock reads, or environment "
-                   "reads in core/ + sim/")
+                   "reads in core/ + sim/ + campaign/")
 
-    SCOPE_PACKAGES = ("core", "sim")
+    SCOPE_PACKAGES = ("core", "sim", "campaign")
+    #: Files in scope that may read wall clocks: the campaign *runner*
+    #: owns retry backoff, timeouts, throughput metering, and run-metadata
+    #: timestamps — all of which live outside the determinism contract
+    #: (shard planning, seeding, and results never depend on them).  The
+    #: RNG and environment checks still apply there.
+    CLOCK_EXEMPT_FILES = ("campaign/runner.py",)
 
     #: Wall-clock reads by module attribute.
     CLOCK_ATTRS = {
@@ -177,6 +187,7 @@ class DeterminismRule(Rule):
     def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
         if module.package not in self.SCOPE_PACKAGES:
             return
+        clocks_exempt = module.relpath in self.CLOCK_EXEMPT_FILES
         tree = module.tree
         random_aliases = _import_aliases(tree, "random")
         time_aliases = _import_aliases(tree, "time")
@@ -190,15 +201,16 @@ class DeterminismRule(Rule):
 
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom):
-                yield from self._check_import_from(module, node)
+                yield from self._check_import_from(module, node,
+                                                   clocks_exempt)
             elif isinstance(node, ast.Attribute):
                 yield from self._check_attribute(
                     module, node, random_aliases, time_aliases,
                     datetime_aliases, os_aliases, numpy_aliases,
-                    datetime_cls_aliases)
+                    datetime_cls_aliases, clocks_exempt)
 
-    def _check_import_from(self, module: ModuleInfo,
-                           node: ast.ImportFrom) -> Iterator[Violation]:
+    def _check_import_from(self, module: ModuleInfo, node: ast.ImportFrom,
+                           clocks_exempt: bool) -> Iterator[Violation]:
         if node.level or node.module is None:
             return
         top = node.module.split(".")[0]
@@ -208,7 +220,8 @@ class DeterminismRule(Rule):
                 module, node,
                 "stdlib random is a global-state RNG — use a seeded "
                 "numpy Generator")
-        elif node.module == "time" and names & self.CLOCK_ATTRS["time"]:
+        elif node.module == "time" and names & self.CLOCK_ATTRS["time"] \
+                and not clocks_exempt:
             yield self._violation(
                 module, node, "wall-clock import from time")
         elif top == "os":
@@ -222,16 +235,17 @@ class DeterminismRule(Rule):
                          random_aliases: Set[str], time_aliases: Set[str],
                          datetime_aliases: Set[str], os_aliases: Set[str],
                          numpy_aliases: Set[str],
-                         datetime_cls_aliases: Set[str]
-                         ) -> Iterator[Violation]:
+                         datetime_cls_aliases: Set[str],
+                         clocks_exempt: bool) -> Iterator[Violation]:
         base = node.value
         if isinstance(base, ast.Name):
             if base.id in datetime_cls_aliases and \
                     node.attr in self.CLOCK_ATTRS["datetime"]:
-                yield self._violation(
-                    module, node,
-                    f"wall-clock read {base.id}.{node.attr} "
-                    "(datetime class imported via from-import)")
+                if not clocks_exempt:
+                    yield self._violation(
+                        module, node,
+                        f"wall-clock read {base.id}.{node.attr} "
+                        "(datetime class imported via from-import)")
             elif base.id in random_aliases:
                 yield self._violation(
                     module, node,
@@ -239,8 +253,9 @@ class DeterminismRule(Rule):
                     "seeded numpy Generator")
             elif base.id in time_aliases and \
                     node.attr in self.CLOCK_ATTRS["time"]:
-                yield self._violation(
-                    module, node, f"wall-clock read time.{node.attr}")
+                if not clocks_exempt:
+                    yield self._violation(
+                        module, node, f"wall-clock read time.{node.attr}")
             elif base.id in os_aliases and node.attr in ("environ", "getenv"):
                 yield self._violation(
                     module, node,
@@ -260,7 +275,8 @@ class DeterminismRule(Rule):
             elif isinstance(base.value, ast.Name) and \
                     base.value.id in datetime_aliases and \
                     base.attr in ("datetime", "date") and \
-                    node.attr in self.CLOCK_ATTRS["datetime"]:
+                    node.attr in self.CLOCK_ATTRS["datetime"] and \
+                    not clocks_exempt:
                 yield self._violation(
                     module, node,
                     f"wall-clock read datetime.{base.attr}.{node.attr}")
@@ -288,13 +304,18 @@ LAYERS: Dict[str, int] = {
     "sync": 5,
     "fault": 5,
     "analysis": 6,
-    "service": 7,
+    "campaign": 7,
+    "service": 8,
 }
 
 
 class LayeringRule(Rule):
     """Enforce the package import DAG ``core → overheads/partition → sim
-    → analysis/service`` (with util below everything).
+    → analysis → campaign → service`` (with util below everything).
+    ``campaign`` sits above ``analysis`` (it drives analysis work over a
+    process pool) and below ``service`` (the server dispatches batch
+    analysis onto the engine); a ``campaign → service`` import would be
+    the cycle this ordering exists to forbid.
 
     Upward imports are how "the campaign knows about the engine" quietly
     becomes "the engine knows about the campaign"; the pre-refactor tree

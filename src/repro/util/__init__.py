@@ -6,6 +6,8 @@ and the fast-path toggle can be shared without import cycles.
 """
 
 from .lru import LRUCache
+from .metrics import Counter, LatencyHistogram, MetricsRegistry
 from .toggles import fastpath_enabled, set_fastpath
 
-__all__ = ["LRUCache", "fastpath_enabled", "set_fastpath"]
+__all__ = ["LRUCache", "fastpath_enabled", "set_fastpath",
+           "Counter", "LatencyHistogram", "MetricsRegistry"]

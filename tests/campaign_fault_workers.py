@@ -1,0 +1,86 @@
+"""Module-level fault-injecting workers for campaign engine tests.
+
+The process pool pickles workers by qualified name, so anything the
+engine dispatches must live at module level — lambdas and closures
+defined inside a test cannot cross the fork boundary.  Fault state is
+carried out-of-band:
+
+* generic jobs (the :func:`~repro.campaign.runner.dispatch_jobs` tests)
+  embed a *fuse file* path in their payload — the first attempt creates
+  the fuse and misbehaves, later attempts see it and succeed, giving a
+  deterministic fail-once schedule that works across processes;
+* shard workers (the :class:`~repro.campaign.runner.CampaignRunner`
+  tests) select their victim via environment variables, inherited by
+  pool workers at fork time (tests rebuild the warm pool after setting
+  them, see ``discard_worker_pool``).
+"""
+
+import os
+import time
+
+from repro.campaign.sched import evaluate_shard
+
+__all__ = [
+    "FAIL_SHARD_ENV",
+    "DIE_SHARD_ENV",
+    "FUSE_DIR_ENV",
+    "flaky_job",
+    "exit_job",
+    "sleep_job",
+    "failing_shard",
+    "dying_shard",
+]
+
+#: Shard id that :func:`failing_shard` raises on (every attempt).
+FAIL_SHARD_ENV = "REPRO_TEST_FAIL_SHARD"
+#: Shard id that :func:`dying_shard` kills its worker process on.
+DIE_SHARD_ENV = "REPRO_TEST_DIE_SHARD"
+#: Directory for the env-selected workers' fuse files.
+FUSE_DIR_ENV = "REPRO_TEST_FUSE_DIR"
+
+
+def flaky_job(payload):
+    """Raise until ``payload['fuse']`` exists, then return
+    ``payload['value']`` — fails exactly once per fuse path."""
+    if not os.path.exists(payload["fuse"]):
+        open(payload["fuse"], "w").close()
+        raise RuntimeError("injected job failure")
+    return payload["value"]
+
+
+def exit_job(payload):
+    """Kill the worker process (``os._exit``) on the first attempt —
+    the pool sees ``BrokenProcessPool`` — then succeed."""
+    if not os.path.exists(payload["fuse"]):
+        open(payload["fuse"], "w").close()
+        os._exit(1)
+    return payload["value"]
+
+
+def sleep_job(payload):
+    """Sleep past any reasonable shard timeout on the first attempt,
+    then return promptly."""
+    if not os.path.exists(payload["fuse"]):
+        open(payload["fuse"], "w").close()
+        time.sleep(payload["sleep"])
+    return payload["value"]
+
+
+def failing_shard(args):
+    """Shard evaluator that raises on the env-selected shard, every
+    attempt — drives a run into :class:`CampaignIncomplete` while the
+    other shards checkpoint normally."""
+    spec, _model = args
+    if spec.shard_id == os.environ.get(FAIL_SHARD_ENV):
+        raise RuntimeError(f"injected failure for {spec.shard_id}")
+    return evaluate_shard(args)
+
+
+def dying_shard(args):
+    """Shard evaluator whose worker process dies on the env-selected
+    shard, every attempt — exhausts the pool-rebuild budget so the run
+    ends incomplete with the innocent shards checkpointed."""
+    spec, _model = args
+    if spec.shard_id == os.environ.get(DIE_SHARD_ENV):
+        os._exit(1)
+    return evaluate_shard(args)

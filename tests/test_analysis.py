@@ -4,11 +4,9 @@ import math
 
 import pytest
 
-from repro.analysis.experiments import (
-    run_schedulability_campaign,
-    utilization_grid,
-)
+from repro.analysis.experiments import utilization_grid
 from repro.analysis.report import format_series_plot, format_table
+from repro.campaign import run_schedulability_campaign
 from repro.analysis.schedulability import (
     edf_ff_min_processors,
     evaluate_task_set,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.analysis.experiments import run_schedulability_campaign
+from repro.campaign import run_schedulability_campaign
 from repro.analysis.persistence import (
     load_campaign,
     merge_campaigns,

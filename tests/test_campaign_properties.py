@@ -1,0 +1,105 @@
+"""Property tests for campaign merging: shard order must never matter.
+
+The engine's resume guarantee leans on two algebraic facts:
+
+* :func:`repro.analysis.persistence.merge_campaigns` pools sufficient
+  statistics (Chan et al.), so it is commutative and associative up to
+  floating-point round-off — replicated shards may be pooled in any
+  grouping;
+* pooling replica samples is consistent with summarising their
+  concatenation — splitting a grid point over shards changes *where*
+  statistics are computed, not what they are.
+
+These hold approximately (float addition is not associative), so the
+assertions use relative tolerances; the byte-identity claims elsewhere
+(``tests/test_campaign.py``) come from the assembler *concatenating*
+points before a single summarize, never from merge_campaigns.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import CampaignRow
+from repro.analysis.persistence import _STAT_FIELDS, merge_campaigns
+from repro.analysis.stats import summarize
+
+#: Sample values bounded away from the extremes so pooled variances stay
+#: well-conditioned (the analyses produce processor counts and losses in
+#: exactly this kind of range).
+samples = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False,
+              width=32),
+    min_size=1, max_size=8)
+
+
+def row_from(values):
+    """A single-point campaign row whose every statistic summarises
+    ``values`` (the grid coordinates are fixed so rows always align)."""
+    stats = summarize(values)
+    return CampaignRow(
+        n_tasks=10, utilization=2.0, mean_utilization=0.2,
+        infeasible_pd2=1, infeasible_ff=2,
+        **{f: stats for f in _STAT_FIELDS})
+
+
+def stats_close(a, b, rel=1e-9, abs_tol=1e-9):
+    assert a.n == b.n
+    assert math.isclose(a.mean, b.mean, rel_tol=rel, abs_tol=abs_tol)
+    assert math.isclose(a.std, b.std, rel_tol=rel, abs_tol=abs_tol)
+    assert math.isclose(a.ci99_halfwidth, b.ci99_halfwidth,
+                        rel_tol=rel, abs_tol=abs_tol)
+
+
+def rows_close(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.infeasible_pd2 == rb.infeasible_pd2
+        assert ra.infeasible_ff == rb.infeasible_ff
+        for f in _STAT_FIELDS:
+            stats_close(getattr(ra, f), getattr(rb, f))
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples, samples)
+def test_merge_is_commutative(xs, ys):
+    a, b = [row_from(xs)], [row_from(ys)]
+    rows_close(merge_campaigns(a, b), merge_campaigns(b, a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples, samples, samples)
+def test_merge_is_associative(xs, ys, zs):
+    a, b, c = [row_from(xs)], [row_from(ys)], [row_from(zs)]
+    rows_close(merge_campaigns(merge_campaigns(a, b), c),
+               merge_campaigns(a, merge_campaigns(b, c)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples, samples)
+def test_merge_matches_summarize_of_concatenation(xs, ys):
+    """Pooling two shards equals summarising their pooled sample — the
+    algebraic core of 'the shard split does not change the statistics'."""
+    merged = merge_campaigns([row_from(xs)], [row_from(ys)])[0]
+    direct = summarize(xs + ys)
+    for f in _STAT_FIELDS:
+        stats_close(getattr(merged, f), direct, rel=1e-7, abs_tol=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(samples, min_size=2, max_size=5), st.randoms())
+def test_merge_is_order_independent_over_many_shards(shard_samples, rng):
+    """Folding shard campaigns in a shuffled order pools to the same
+    statistics as folding them in replica order."""
+    campaigns = [[row_from(values)] for values in shard_samples]
+    in_order = campaigns[0]
+    for campaign in campaigns[1:]:
+        in_order = merge_campaigns(in_order, campaign)
+    shuffled = list(campaigns)
+    rng.shuffle(shuffled)
+    folded = shuffled[0]
+    for campaign in shuffled[1:]:
+        folded = merge_campaigns(folded, campaign)
+    rows_close(in_order, folded)

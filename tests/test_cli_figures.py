@@ -23,7 +23,7 @@ class TestFigureBuilders:
         assert d_rw.miss_count == 0
 
     def test_fig3_fig4_tables(self):
-        from repro.analysis.experiments import run_schedulability_campaign
+        from repro.campaign import run_schedulability_campaign
 
         rows = run_schedulability_campaign(10, [2.0], sets_per_point=3, seed=0)
         t3 = fig3_table(rows, 10, 3)

@@ -21,7 +21,7 @@ import threading
 
 import pytest
 
-from repro.analysis.experiments import run_schedulability_campaign
+from repro.campaign import run_schedulability_campaign
 from repro.analysis.schedulability import ANALYSIS_CACHE
 from repro.service import AdmissionClient, ServerThread, ServiceState
 from repro.workload.spec import TaskSpec

@@ -92,7 +92,7 @@ class TestFig3Shape:
 
     @pytest.fixture(scope="class")
     def campaign(self):
-        from repro.analysis.experiments import run_schedulability_campaign
+        from repro.campaign import run_schedulability_campaign
 
         # Three probe points: low, mid, high utilization for N = 50.
         return run_schedulability_campaign(

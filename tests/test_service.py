@@ -123,6 +123,43 @@ class TestSingleConnection:
         assert bad_verb["error"]["code"] == "unknown-verb"
         assert fine["ok"] and fine["pong"]
 
+    def test_batch_analyze_verb(self, server):
+        state, host, port = server
+        with AdmissionClient(host, port) as c:
+            r = c.batch_analyze([
+                [spec(1, 2, "a")],
+                [spec(2, 3, "b"), spec(1, 3, "c")],
+                [spec(1, 2, "a2")],  # same shape as the first set
+            ])
+            assert r["count"] == 3
+            results = r["results"]
+            assert all(row["m_pd2"] >= 1 for row in results)
+            assert results[0]["m_pd2"] == results[2]["m_pd2"]
+            # A repeat request is served from the analysis cache.
+            again = c.batch_analyze([[spec(1, 2, "z")]])
+            assert again["results"][0]["cached"] is True
+            # Analysis is read-only: nothing joined the live system.
+            assert state.describe()["tasks"] == []
+
+    def test_batch_analyze_isolates_bad_sets_and_validates(self, server):
+        _, host, port = server
+        with AdmissionClient(host, port) as c:
+            r = c.batch_analyze([
+                [spec(1, 2, "good")],
+                [TaskSpec(100, 1500, name="odd")],  # bad quantisation
+            ])
+            assert "error" not in r["results"][0]
+            assert "error" in r["results"][1]
+            # Malformed requests fail whole with a pinpointed message.
+            raw = c.send_batch([{"verb": "batch-analyze",
+                                 "task_sets": [[{"execution": "no"}]]}])[0]
+            assert not raw["ok"]
+            assert "'task_sets[0]'" in raw["error"]["message"]
+            with pytest.raises(ServiceResponseError) as exc:
+                c.batch_analyze([[spec(1, 2, "w")]], workers=0)
+            assert exc.value.code == "bad-request"
+            assert c.ping()["pong"]  # connection survives the errors
+
     def test_pipelined_batch_ordering(self, server):
         _, host, port = server
         with AdmissionClient(host, port) as c:

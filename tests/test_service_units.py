@@ -12,9 +12,10 @@ from repro.analysis.schedulability import task_set_cache_key, task_set_signature
 from repro.overheads.model import OverheadModel
 from repro.service.cache import LRUCache
 from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
-from repro.service.protocol import (ProtocolError, decode_line, encode,
-                                    error_response, ok_response,
-                                    parse_request, parse_specs)
+from repro.service.protocol import (MAX_BATCH_SETS, ProtocolError,
+                                    decode_line, encode, error_response,
+                                    ok_response, parse_request, parse_specs,
+                                    parse_spec_sets)
 from repro.service.state import ServiceError, ServiceState
 from repro.workload.spec import TaskSpec
 
@@ -50,6 +51,31 @@ class TestProtocol:
                     {"tasks": [{"execution": "no"}]}):
             with pytest.raises(ProtocolError):
                 parse_specs(bad)
+
+    def test_parse_spec_sets(self):
+        sets = parse_spec_sets({"task_sets": [
+            [{"execution": 250, "period": 1000, "name": "a"}],
+            [{"execution": 500, "period": 1000, "name": "b"},
+             {"execution": 100, "period": 2000, "name": "c"}],
+        ]})
+        assert [len(s) for s in sets] == [1, 2]
+        assert sets[1][0].name == "b"
+        for bad in ({}, {"task_sets": []}, {"task_sets": "x"},
+                    {"task_sets": [[]]}, {"task_sets": ["x"]}):
+            with pytest.raises(ProtocolError):
+                parse_spec_sets(bad)
+
+    def test_parse_spec_sets_pinpoints_the_bad_set(self):
+        good = [{"execution": 250, "period": 1000, "name": "a"}]
+        with pytest.raises(ProtocolError) as exc:
+            parse_spec_sets({"task_sets": [good, [{"execution": "no"}]]})
+        assert "'task_sets[1]'" in exc.value.message
+
+    def test_parse_spec_sets_enforces_the_batch_cap(self):
+        good = [{"execution": 250, "period": 1000, "name": "a"}]
+        with pytest.raises(ProtocolError) as exc:
+            parse_spec_sets({"task_sets": [good] * (MAX_BATCH_SETS + 1)})
+        assert str(MAX_BATCH_SETS) in exc.value.message
 
     def test_response_shapes(self):
         ok = ok_response(3, admitted=True)
@@ -232,3 +258,41 @@ class TestServiceState:
         for bad in (0, -1, "x", None):
             with pytest.raises(ServiceError):
                 st.advance(bad)
+
+    def test_analyze_batch_preserves_order_and_caches(self):
+        st = ServiceState(2)
+        a = _specs((2000, 10000), prefix="a")
+        b = _specs((8000, 11000), prefix="b")
+        st.analyze(a)  # warm the cache for one of the two sets
+        results = st.analyze_batch([b, a, b])
+        assert [r["cached"] for r in results] == [False, True, False]
+        assert [r["n_tasks"] for r in results] == [1, 1, 1]
+        assert all(r["m_pd2"] >= 1 for r in results)
+        # Everything analysed above is now a hit, in any order.
+        again = st.analyze_batch([a, b])
+        assert [r["cached"] for r in again] == [True, True]
+
+    def test_analyze_batch_isolates_invalid_sets(self):
+        st = ServiceState(2)
+        good = _specs((1000, 2000))
+        bad = [TaskSpec(100, 1500, name="odd")]  # not a quantum multiple
+        results = st.analyze_batch([good, bad, good])
+        assert "error" in results[1] and "error" not in results[0]
+        # Both copies of the good set were misses when the batch was
+        # keyed (the cache fills only after the pool returns), but the
+        # next request hits.
+        assert [r["cached"] for r in results] == [False, False, False]
+        assert st.analyze_batch([good])[0]["cached"] is True
+        # The failed set is never cached: a retry recomputes (and fails
+        # identically) instead of serving a poisoned entry.
+        assert "error" in st.analyze_batch([bad])[0]
+
+    def test_analyze_batch_parallel_matches_serial(self):
+        st = ServiceState(2)
+        sets = [_specs((1000 * (i + 1), 10000), prefix=f"s{i}")
+                for i in range(4)]
+        serial = st.analyze_batch(sets)
+        parallel = ServiceState(2).analyze_batch(sets, 2)
+        strip = lambda rows: [{k: v for k, v in r.items() if k != "cached"}
+                              for r in rows]
+        assert strip(serial) == strip(parallel)

@@ -159,6 +159,42 @@ class TestDeterminism:
         )})
         assert run_checks(root, select=["R002"]).ok
 
+    def test_campaign_package_is_in_scope(self, tmp_path):
+        # The campaign engine plans shards and seeds workers; a wall
+        # clock or global RNG there breaks resume byte-identity.
+        root = make_tree(tmp_path, {"campaign/spec.py": (
+            "import time\n"
+            "import random\n"
+            "def plan():\n"
+            "    random.seed(time.time())\n"   # line 4: RNG + clock
+        )})
+        result = run_checks(root, select=["R002"])
+        assert anchors(result, "R002") == [
+            ("campaign/spec.py", 4), ("campaign/spec.py", 4)]
+
+    def test_campaign_runner_may_read_clocks_but_not_rngs(self, tmp_path):
+        # runner.py is the one campaign file allowed to read monotonic
+        # clocks (timeouts, backoff, progress) — shard *content* never
+        # depends on them.  RNG and environment checks still apply.
+        root = make_tree(tmp_path, {"campaign/runner.py": (
+            "import time\n"
+            "import random\n"
+            "def tick():\n"
+            "    t = time.monotonic()\n"       # exempt: scheduling clock
+            "    return t + random.random()\n"  # line 5: RNG still banned
+        )})
+        result = run_checks(root, select=["R002"])
+        assert anchors(result, "R002") == [("campaign/runner.py", 5)]
+
+    def test_clock_exemption_is_per_file_not_per_package(self, tmp_path):
+        root = make_tree(tmp_path, {"campaign/checkpoint.py": (
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"          # line 3: not runner.py
+        )})
+        result = run_checks(root, select=["R002"])
+        assert anchors(result, "R002") == [("campaign/checkpoint.py", 3)]
+
 
 # ---------------------------------------------------------------------------
 # R003 — layering
@@ -208,6 +244,23 @@ class TestLayering:
         assert len(cycle) == 1
         assert "overheads" in cycle[0].message
         assert "partition" in cycle[0].message
+
+    def test_campaign_sits_between_analysis_and_service(self, tmp_path):
+        # campaign (layer 7) may import analysis (6); service (8) may
+        # import campaign.  Neither direction is an upward import.
+        root = make_tree(tmp_path, {
+            "campaign/sched.py": "from repro.analysis import experiments\n",
+            "service/state.py": "from repro.campaign import batch_analyze\n",
+        })
+        assert run_checks(root, select=["R003"]).ok
+
+    def test_campaign_importing_service_is_an_upward_import(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "campaign/runner.py": "from repro.service import state\n",
+        })
+        result = run_checks(root, select=["R003"])
+        assert anchors(result, "R003") == [("campaign/runner.py", 1)]
+        assert "upward import" in hits(result, "R003")[0].message
 
 
 # ---------------------------------------------------------------------------

@@ -97,7 +97,7 @@ class TestCLIWorkflow:
 
 class TestParallelCampaign:
     def test_parallel_matches_serial(self):
-        from repro.analysis.experiments import run_schedulability_campaign
+        from repro.campaign import run_schedulability_campaign
 
         serial = run_schedulability_campaign(
             20, [2.0, 4.0], sets_per_point=6, seed=9)
