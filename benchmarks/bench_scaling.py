@@ -13,6 +13,11 @@ Two machine-checked claims, written to ``benchmarks/out/BENCH_scaling.json``
   the warm worker pool) vs. ``--no-fastpath``, with byte-identical rows,
   plus the recorded pre-change *seed* baseline for the headline
   speedup-vs-seed number.
+* **Distributed dispatch** (``distrib`` section): the same campaign
+  through ``repro.distrib`` against 1 vs. 2 localhost worker *nodes*
+  (subprocess ``repro worker --serve``, 2 pool jobs each) vs. the local
+  pool — measuring the wire/lease overhead and the scale-out headroom,
+  with ``result.json`` byte-identical across all of them.
 
 ``REPRO_PERF_SMOKE=1`` (the CI perf-smoke job) runs only the smallest
 size and only the decision-equality assertions — no timing, so the job
@@ -21,6 +26,9 @@ cannot flake on a loaded runner.
 
 import json
 import os
+import re
+import subprocess
+import sys
 import time
 
 import pytest
@@ -237,3 +245,148 @@ def test_fastpath_throughput_and_campaign(benchmark):
     # Correctness-style guards only; timing thresholds live in the JSON
     # record, not in assertions (CI runners are too noisy to gate on).
     assert all(p["slots_per_sec_fastpath"] > 0 for p in sim_points)
+
+
+# -- distributed dispatch (docs/DISTRIBUTED.md) ---------------------------
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _spawn_worker_node(jobs: int) -> "tuple[subprocess.Popen, str, int]":
+    """Start a subprocess ``repro worker --serve`` on an ephemeral port
+    (its own interpreter and its own process pool — a real node, not a
+    thread) and parse the address from its startup banner."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--serve",
+         "--port", "0", "-j", str(jobs)],
+        env={**os.environ, "PYTHONPATH": os.path.join(_ROOT, "src")},
+        stderr=subprocess.PIPE, text=True)
+    assert proc.stderr is not None
+    banner = proc.stderr.readline()
+    match = re.search(r"worker node on ([0-9.]+):(\d+)", banner)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"unexpected worker banner: {banner!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def _shutdown_worker_node(proc: subprocess.Popen, host: str,
+                          port: int) -> None:
+    import socket as socketlib
+
+    from repro.service.protocol import decode_line, encode
+
+    try:
+        with socketlib.create_connection((host, port), timeout=5) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(encode({"id": 0, "verb": "shutdown"}))
+            stream.flush()
+            decode_line(stream.readline())
+    except OSError:
+        pass
+    try:
+        proc.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+
+
+def _distrib_campaign(tmp_path, name: str, campaign: dict,
+                      nodes, local_jobs: int = 0):
+    """One distributed (or local-slot) run into a fresh run dir;
+    returns (elapsed_seconds, result.json bytes)."""
+    from repro.distrib import DistribConfig, run_distributed_campaign
+
+    run_dir = tmp_path / name
+    config = DistribConfig(local_jobs=local_jobs,
+                           poll_interval_seconds=0.01,
+                           status_interval_seconds=60.0)
+    t0 = time.perf_counter()
+    run_distributed_campaign(
+        campaign["n_tasks"],
+        utilization_grid(campaign["n_tasks"], points=campaign["points"]),
+        sets_per_point=campaign["sets_per_point"], seed=campaign["seed"],
+        nodes=nodes, run_dir=str(run_dir), config=config)
+    elapsed = time.perf_counter() - t0
+    return elapsed, (run_dir / "result.json").read_bytes()
+
+
+def test_distrib_byte_identity_smallest(tmp_path):
+    """The CI contract half of the distrib scenario: a campaign shipped
+    over the wire to an in-process worker node checkpoints and assembles
+    byte-identically to the pure-local engine.  Runs under
+    REPRO_PERF_SMOKE too — equality only, no timing."""
+    from repro.distrib import NodeSpec, WorkerServer
+
+    small = dict(n_tasks=16, points=3, sets_per_point=5, seed=16)
+    run_schedulability_campaign(
+        small["n_tasks"],
+        utilization_grid(small["n_tasks"], points=small["points"]),
+        sets_per_point=small["sets_per_point"], seed=small["seed"],
+        run_dir=str(tmp_path / "local"))
+    reference = (tmp_path / "local" / "result.json").read_bytes()
+    with WorkerServer(jobs=2) as (host, port):
+        _, remote = _distrib_campaign(tmp_path, "remote", small,
+                                      [NodeSpec(host, port)])
+    shutdown_worker_pool()
+    assert remote == reference, \
+        "distributed result.json differs from the local engine's"
+
+
+@pytest.mark.skipif(_SMOKE, reason="perf smoke runs equality checks only")
+def test_distrib_scaling(tmp_path):
+    """1 vs. 2 localhost worker nodes on the bench campaign, against the
+    local warm pool — recorded into BENCH_scaling.json's ``distrib``
+    section (merged, so this test can rerun independently)."""
+    from repro.distrib import NodeSpec
+
+    # Local-pool baseline through the same distributed code path
+    # (local_jobs only, no wire) and through the plain engine.
+    t_local, ref_bytes = _distrib_campaign(tmp_path, "local-slots",
+                                           CAMPAIGN, nodes=(),
+                                           local_jobs=2)
+
+    scenarios = []
+    for n_nodes in (1, 2):
+        workers = [_spawn_worker_node(jobs=2) for _ in range(n_nodes)]
+        nodes = [NodeSpec(host, port) for _, host, port in workers]
+        try:
+            # Pay each node's pool spawn/warm-up outside the clock.
+            _distrib_campaign(tmp_path, f"warm-{n_nodes}",
+                              dict(CAMPAIGN, points=1, sets_per_point=2),
+                              nodes)
+            best, result = float("inf"), b""
+            for rep in range(REPS):
+                elapsed, result = _distrib_campaign(
+                    tmp_path, f"nodes{n_nodes}-rep{rep}", CAMPAIGN, nodes)
+                best = min(best, elapsed)
+        finally:
+            for proc, host, port in workers:
+                _shutdown_worker_node(proc, host, port)
+        assert result == ref_bytes, \
+            f"{n_nodes}-node result.json diverged from the local run"
+        scenarios.append({"nodes": n_nodes, "jobs_per_node": 2,
+                          "seconds": round(best, 3)})
+    shutdown_worker_pool()
+
+    json_path = os.path.join(OUT_DIR, "BENCH_scaling.json")
+    payload = {}
+    if os.path.exists(json_path):
+        with open(json_path) as fh:
+            payload = json.load(fh)
+    payload["distrib"] = {
+        "config": CAMPAIGN,
+        "local_pool_2_jobs_seconds": round(t_local, 3),
+        "scenarios": scenarios,
+        "result_bytes_identical": True,
+        "note": ("subprocess worker nodes on localhost: measures the "
+                 "wire/lease overhead of repro.distrib, not cluster "
+                 "scale-out; nodes share the machine's cores"),
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\ndistrib: local(2 jobs) {t_local:.3f}s | " +
+          " | ".join(f"{s['nodes']}x2 {s['seconds']:.3f}s"
+                     for s in scenarios) +
+          f"\n[merged into {json_path}]")

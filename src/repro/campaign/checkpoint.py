@@ -165,23 +165,38 @@ class CheckpointStore:
 
     def write_shard(self, spec: ShardSpec,
                     points: Sequence[SchedulabilityPoint], *,
-                    attempts: int, elapsed_seconds: float) -> None:
+                    attempts: int, elapsed_seconds: float,
+                    worker: Optional[str] = None) -> None:
         """Spool one finished shard atomically into the run directory.
 
-        ``attempts`` and ``elapsed_seconds`` are provenance only — they
-        record how hard the shard was to produce, and are excluded from
-        the determinism contract (a resumed run may legitimately differ
-        there while the ``points`` stay identical).
+        ``attempts``, ``elapsed_seconds``, and ``worker`` (the node that
+        produced the points, for distributed runs) are provenance only —
+        they record how and where the shard was produced, and are
+        excluded from the determinism contract (a resumed run may
+        legitimately differ there while the ``points`` stay identical).
         """
-        payload = {
+        payload: Dict[str, Any] = {
             "format": SHARD_FORMAT,
             "shard": spec.to_dict(),
             "attempts": attempts,
             "elapsed_seconds": elapsed_seconds,
-            "points": [point_to_dict(p) for p in points],
         }
+        if worker is not None:
+            payload["worker"] = worker
+        payload["points"] = [point_to_dict(p) for p in points]
         atomic_write_text(self._shard_path(spec.shard_id),
                           json.dumps(payload) + "\n")
+
+    def read_shard_meta(self, shard_id: str) -> Dict[str, Any]:
+        """A shard checkpoint's provenance fields (``attempts``,
+        ``elapsed_seconds``, optional ``worker``) without the points —
+        what ``repro campaign status --shards`` renders."""
+        path = self._shard_path(shard_id)
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or data.get("format") != SHARD_FORMAT:
+            raise RunDirError(f"{path}: not a {SHARD_FORMAT} checkpoint")
+        return {k: data[k] for k in ("attempts", "elapsed_seconds", "worker")
+                if k in data}
 
     def read_shard(self, shard_id: str) -> List[SchedulabilityPoint]:
         """Restore a shard's evaluated points, verifying the format tag."""

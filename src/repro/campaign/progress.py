@@ -42,20 +42,44 @@ class ProgressTracker:
         self.done = Counter()
         self.retries = Counter()
         self.latency = LatencyHistogram()
+        #: Per-worker attribution (distributed runs): shard counts,
+        #: retries charged to the worker, and its own latency histogram.
+        #: A pure-local run has exactly one source, ``"local"``.
+        self._worker_done: Dict[str, Counter] = {}
+        self._worker_retries: Dict[str, Counter] = {}
+        self._worker_latency: Dict[str, LatencyHistogram] = {}
         self._started_at: Optional[float] = None
 
     def start(self, now: float) -> None:
         """Mark dispatch start (``now`` = monotonic seconds)."""
         self._started_at = now
 
-    def record_success(self, latency_seconds: float) -> None:
-        """One shard finished and checkpointed."""
+    def _worker_slot(self, worker: str
+                     ) -> tuple[Counter, Counter, LatencyHistogram]:
+        if worker not in self._worker_done:
+            self._worker_done[worker] = Counter()
+            self._worker_retries[worker] = Counter()
+            self._worker_latency[worker] = LatencyHistogram()
+        return (self._worker_done[worker], self._worker_retries[worker],
+                self._worker_latency[worker])
+
+    def record_success(self, latency_seconds: float,
+                       worker: str = "local") -> None:
+        """One shard finished and checkpointed, produced by ``worker``."""
         self.done.inc()
         self.latency.observe(latency_seconds)
+        done, _retries, latency = self._worker_slot(worker)
+        done.inc()
+        latency.observe(latency_seconds)
 
-    def record_retry(self, reason: str) -> None:
-        """One shard went back into the queue (see class docstring)."""
+    def record_retry(self, reason: str,
+                     worker: Optional[str] = None) -> None:
+        """One shard went back into the queue (see class docstring);
+        ``worker`` names the node charged with the failed attempt when
+        known (distributed runs attribute expiries and lost leases)."""
         self.retries.inc(reason)
+        if worker is not None:
+            self._worker_slot(worker)[1].inc(reason)
 
     @property
     def shards_done(self) -> int:
@@ -83,6 +107,16 @@ class ProgressTracker:
         remaining = self.total_shards - self.shards_done
         eta = (remaining / throughput
                if throughput and remaining > 0 else None)
+        workers: Dict[str, Any] = {}
+        for name in sorted(self._worker_done):
+            w_done = self._worker_done[name].total()
+            workers[name] = {
+                "shards_done": w_done,
+                "retries": self._worker_retries[name].as_dict(),
+                "throughput_shards_per_sec": (round(w_done / elapsed, 4)
+                                              if elapsed > 0 else None),
+                "shard_latency": self._worker_latency[name].summary(),
+            }
         return {
             "state": state,
             "updated": updated,
@@ -95,4 +129,5 @@ class ProgressTracker:
                                           if throughput else None),
             "eta_seconds": round(eta, 1) if eta is not None else None,
             "shard_latency": self.latency.summary(),
+            "workers": workers,
         }

@@ -10,7 +10,10 @@ Quick access to the library's main entry points without writing a script:
 * ``campaign run|resume|status`` — the same campaigns through the
   fault-tolerant engine: shards checkpoint into a run directory, an
   interrupted run resumes byte-identically, ``status`` reports live
-  progress (see docs/CAMPAIGNS.md)
+  progress (see docs/CAMPAIGNS.md); ``--workers host1:port,host2:port``
+  farms shards out to worker nodes (docs/DISTRIBUTED.md)
+* ``worker --serve``        — run a shard-evaluation worker node for
+  distributed campaigns
 * ``compare E/P [E/P...]`` — minimum processors under PD² vs EDF-FF with
   the paper's overhead constants (weights are given in quanta)
 * ``serve``                — run the admission-control service (TCP,
@@ -175,37 +178,93 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def _campaign_config(args: argparse.Namespace) -> RunnerConfig:
-    return RunnerConfig(workers=args.jobs,
+    return RunnerConfig(workers=args.jobs or 1,
                         shard_timeout=args.shard_timeout,
                         max_retries=args.retries)
 
 
-def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    _apply_fastpath_flag(args)
-    from .campaign import CampaignIncomplete, RunDirError
+def _campaign_nodes(args: argparse.Namespace) -> Optional[list]:
+    """Decode ``--workers``: a bare integer is the legacy ``--jobs``
+    alias (local pool size); a ``host:port[,host:port...]`` list selects
+    the distributed path (docs/DISTRIBUTED.md)."""
+    text = getattr(args, "workers", None)
+    if text is None:
+        return None
+    if text.isdigit():
+        if args.jobs is None:
+            args.jobs = int(text)
+        return None
+    from .distrib import parse_worker_nodes
 
-    grid = utilization_grid(args.tasks, points=args.points)
+    return parse_worker_nodes(text)
+
+
+def _distrib_config(args: argparse.Namespace) -> "object":
+    from .distrib import DistribConfig
+
+    return DistribConfig(local_jobs=args.jobs or 0,
+                         lease_timeout=args.lease_timeout,
+                         shard_deadline=args.shard_timeout,
+                         max_retries=args.retries)
+
+
+def _run_campaign_cli(args: argparse.Namespace, grid_args: tuple,
+                      *, resume: bool) -> int:
+    """Shared body of ``campaign run`` and ``campaign resume``: route to
+    the local engine or (with worker nodes) the distributed coordinator,
+    then print the requested figure table."""
+    from .campaign import CampaignIncomplete, RunDirError
+    from .distrib import DistribError
+
+    n_tasks, utilizations, sets, seed, replicas = grid_args
     try:
-        rows = run_schedulability_campaign(
-            args.tasks, grid, sets_per_point=args.sets, seed=args.seed,
-            replicas=args.replicas, run_dir=args.run_dir, resume=False,
-            config=_campaign_config(args),
-            progress=lambda msg: print(msg, file=sys.stderr))
-    except RunDirError as exc:
+        nodes = _campaign_nodes(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        if nodes is not None:
+            from .distrib import run_distributed_campaign
+
+            rows = run_distributed_campaign(
+                n_tasks, utilizations, nodes=nodes, run_dir=args.run_dir,
+                sets_per_point=sets, seed=seed, replicas=replicas,
+                resume=resume, config=_distrib_config(args),
+                progress=lambda msg: print(msg, file=sys.stderr))
+        else:
+            rows = run_schedulability_campaign(
+                n_tasks, utilizations, sets_per_point=sets, seed=seed,
+                replicas=replicas, run_dir=args.run_dir, resume=resume,
+                config=_campaign_config(args),
+                progress=lambda msg: print(msg, file=sys.stderr))
+    except (RunDirError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     except CampaignIncomplete as exc:
         print(f"campaign incomplete: {exc}", file=sys.stderr)
         return 1
+    except (DistribError, OSError) as exc:
+        print(f"distributed run failed: {exc}", file=sys.stderr)
+        return 1
     formatter = fig4_table if args.fig == 4 else fig3_table
-    print(formatter(rows, args.tasks, args.sets))
-    print(f"[campaign checkpointed in {args.run_dir}]", file=sys.stderr)
+    print(formatter(rows, n_tasks, sets))
+    print(f"[campaign "
+          f"{'complete' if resume else 'checkpointed'} in {args.run_dir}]",
+          file=sys.stderr)
     return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    _apply_fastpath_flag(args)
+    grid = utilization_grid(args.tasks, points=args.points)
+    return _run_campaign_cli(
+        args, (args.tasks, grid, args.sets, args.seed, args.replicas),
+        resume=False)
 
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     _apply_fastpath_flag(args)
-    from .campaign import CampaignIncomplete, CheckpointStore, RunDirError
+    from .campaign import CheckpointStore, RunDirError
 
     store = CheckpointStore(args.run_dir)
     try:
@@ -213,20 +272,10 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     except (RunDirError, OSError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    try:
-        rows = run_schedulability_campaign(
-            grid.n_tasks, grid.utilizations,
-            sets_per_point=grid.sets_per_point, seed=grid.seed,
-            replicas=grid.replicas, run_dir=args.run_dir, resume=True,
-            config=_campaign_config(args),
-            progress=lambda msg: print(msg, file=sys.stderr))
-    except CampaignIncomplete as exc:
-        print(f"campaign incomplete: {exc}", file=sys.stderr)
-        return 1
-    formatter = fig4_table if args.fig == 4 else fig3_table
-    print(formatter(rows, grid.n_tasks, grid.sets_per_point))
-    print(f"[campaign complete in {args.run_dir}]", file=sys.stderr)
-    return 0
+    return _run_campaign_cli(
+        args, (grid.n_tasks, grid.utilizations, grid.sets_per_point,
+               grid.seed, grid.replicas),
+        resume=True)
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -265,7 +314,73 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         print(f"shard latency: p50 {lat['p50_ms']} ms, "
               f"p90 {lat['p90_ms']} ms, max {lat['max_ms']} ms "
               f"over {lat['count']} shard(s)")
+    _print_worker_attribution(status)
+    if args.shards:
+        _print_shard_attribution(store, status)
     return 0
+
+
+def _print_worker_attribution(status: dict) -> None:
+    """Per-worker columns of ``campaign status`` (distributed runs and
+    the local pool both appear; old status files simply lack the key)."""
+    workers = status.get("workers") or {}
+    if workers:
+        print("workers:")
+        print(f"  {'node':<22} {'shards':>6} {'retries':>7} "
+              f"{'shards/s':>9} {'p50 ms':>8}")
+        for name, w in sorted(workers.items()):
+            retries = sum((w.get("retries") or {}).values())
+            tput = w.get("throughput_shards_per_sec")
+            lat = (w.get("shard_latency") or {}).get("p50_ms")
+            print(f"  {name:<22} {w.get('shards_done', 0):>6} "
+                  f"{retries:>7} "
+                  f"{tput if tput is not None else '-':>9} "
+                  f"{lat if lat is not None else '-':>8}")
+    distrib = status.get("distrib") or {}
+    if distrib:
+        print("coordination: "
+              f"queue stalls {distrib.get('queue_stalls', 0)}"
+              f"/cap {distrib.get('queue_capacity', '-')}, "
+              f"duplicates discarded "
+              f"{distrib.get('duplicates_discarded', 0)}, "
+              f"leases expired {distrib.get('leases_expired', 0)}, "
+              f"lost {distrib.get('leases_lost', 0)}")
+
+
+def _print_shard_attribution(store: "object", status: dict) -> None:
+    """The ``--shards`` table: producing node, attempts, lease history.
+
+    Live-run rows come from the status snapshot's lease attribution;
+    checkpointed shards (including restored ones the current run never
+    leased) fall back to the provenance recorded in their shard files.
+    """
+    from .campaign import RunDirError
+
+    attribution = status.get("shards") or {}
+    ids = sorted(set(attribution) | store.completed_shards())
+    if not ids:
+        print("shards: none attempted yet")
+        return
+    print("shards:")
+    print(f"  {'shard':<12} {'worker':<22} {'attempts':>8}  lease history")
+    for sid in ids:
+        entry = attribution.get(sid)
+        if entry is not None:
+            worker = entry.get("worker") or "-"
+            leases = entry.get("leases") or []
+            attempts = len(leases)
+            history = " -> ".join(
+                f"{rec.get('worker') or '?'}({rec.get('outcome')})"
+                for rec in leases) or "-"
+        else:
+            try:
+                meta = store.read_shard_meta(sid)
+            except (RunDirError, OSError, ValueError, KeyError):
+                continue
+            worker = meta.get("worker", "local")
+            attempts = meta.get("attempts", 1)
+            history = "checkpointed"
+        print(f"  {sid:<12} {worker:<22} {attempts:>8}  {history}")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -370,14 +485,29 @@ def _add_campaign_commands(sub: "argparse._SubParsersAction[argparse.ArgumentPar
     csub = p.add_subparsers(dest="campaign_command", required=True)
 
     def dispatch_opts(cp: argparse.ArgumentParser) -> None:
-        cp.add_argument("--jobs", "-j", "--workers", dest="jobs", type=int,
-                        default=1, metavar="N",
-                        help="worker processes (results are byte-identical "
-                             "to the serial run)")
+        cp.add_argument("--jobs", "-j", dest="jobs", type=int,
+                        default=None, metavar="N",
+                        help="local worker processes (results are "
+                             "byte-identical to the serial run); with "
+                             "--workers NODES this adds N local pool "
+                             "slots beside the remote fleet")
+        cp.add_argument("--workers", dest="workers", default=None,
+                        metavar="NODES",
+                        help="host1:port,host2:port — farm shards out to "
+                             "these `repro worker --serve` nodes "
+                             "(docs/DISTRIBUTED.md); a bare integer is "
+                             "the legacy --jobs alias")
         cp.add_argument("--shard-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-shard deadline; a late shard is "
-                             "resubmitted (parallel runs only)")
+                             "resubmitted (parallel runs only; in "
+                             "distributed runs this is the hard lease "
+                             "deadline heartbeats cannot extend)")
+        cp.add_argument("--lease-timeout", type=float, default=15.0,
+                        metavar="SECONDS",
+                        help="distributed runs: soft per-shard lease "
+                             "deadline, extended by worker heartbeats "
+                             "(default 15)")
         cp.add_argument("--retries", type=int, default=2, metavar="N",
                         help="retry budget per shard for errors/timeouts "
                              "(worker deaths are recovered unbudgeted)")
@@ -408,9 +538,57 @@ def _add_campaign_commands(sub: "argparse._SubParsersAction[argparse.ArgumentPar
 
     cp = csub.add_parser("status",
                          help="report a run's shard progress, retries, "
-                              "and throughput")
+                              "throughput, and per-worker attribution")
     cp.add_argument("run_dir", help="existing run directory")
+    cp.add_argument("--shards", action="store_true",
+                    help="also print the per-shard table: producing "
+                         "node, attempts, lease history")
     cp.set_defaults(fn=_cmd_campaign_status)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    _apply_fastpath_flag(args)
+    from .distrib import WorkerServer
+
+    server = WorkerServer(args.host, args.port, jobs=args.jobs,
+                          heartbeat_interval=args.heartbeat)
+    host, port = server.start()
+    print(f"worker node on {host}:{port} ({args.jobs} pool job(s), "
+          f"heartbeat {args.heartbeat}s); protocol: docs/DISTRIBUTED.md",
+          file=sys.stderr)
+    try:
+        server.wait()
+        print("shutdown requested; draining", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("interrupted; closing connections (in-flight shards are "
+              "abandoned — the coordinator re-leases them)",
+              file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def _add_worker_command(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    p = sub.add_parser(
+        "worker",
+        help="run a shard-evaluation worker node for distributed "
+             "campaigns (docs/DISTRIBUTED.md)")
+    p.add_argument("--serve", action="store_true", required=True,
+                   help="serve shard-run requests until shutdown "
+                        "(explicit, so a bare `repro worker` cannot "
+                        "silently open a port)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7012,
+                   help="listen port (default 7012); 0 picks an "
+                        "ephemeral one")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="pool processes = shards evaluated concurrently")
+    p.add_argument("--heartbeat", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="liveness frame interval while a shard computes")
+    p.add_argument("--no-fastpath", action="store_true",
+                   help="force the reference analysis code paths")
+    p.set_defaults(fn=_cmd_worker)
 
 
 def _add_service_commands(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
@@ -527,6 +705,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(fn=fn)
 
     _add_campaign_commands(sub)
+    _add_worker_command(sub)
     _add_service_commands(sub)
 
     # ``repro lint`` is normally handled before argparse in :func:`main`

@@ -1,0 +1,161 @@
+"""Distributed campaigns end to end: grid in, byte-identical rows out.
+
+:func:`run_distributed_campaign` is the distributed twin of
+:func:`repro.campaign.sched.run_schedulability_campaign` — same grid
+planning, same checkpoint store, same row assembly, same ``result.json``
+serialisation — with shard evaluation farmed out through a
+:class:`~repro.distrib.coordinator.Coordinator` instead of (or mixed
+with) the local pool.  The byte-identity guarantee follows from three
+shared pieces: shards are planned and seeded identically, wire points
+reuse the checkpoint codec (JSON round-trips ints and doubles exactly),
+and rows are assembled by the very same ``assemble_rows`` call — so
+``result.json`` from a distributed, interrupted, resumed run matches a
+pure-local uninterrupted run bit for bit (the CI ``distrib-smoke`` job
+and ``tests/test_distrib.py`` both assert it).
+
+A ``run_dir`` is **required** here, unlike the local path: the
+checkpoint run-dir *is* the coordination substrate — completed shards
+on disk are exactly the shards never leased again, which is what makes
+``repro campaign resume --workers ...`` correct after killing any
+subset of the fleet.
+
+Status written here extends the local schema with per-worker
+attribution (from the progress tracker), per-shard lease history (from
+the lease table), and the coordinator's backpressure counters.  This
+file reads clocks for those snapshots and is R002 clock-exempt like
+``campaign/runner.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..analysis.experiments import CampaignRow
+from ..analysis.persistence import save_campaign
+from ..analysis.schedulability import SchedulabilityPoint
+from ..campaign.checkpoint import CheckpointStore, RunDirError
+from ..campaign.progress import ProgressTracker
+from ..campaign.runner import CampaignIncomplete, _utc_now
+from ..campaign.sched import assemble_rows
+from ..campaign.spec import CampaignGrid, plan_shards
+from ..overheads.model import OverheadModel
+from .coordinator import Coordinator, DistribConfig, NodeSpec
+
+__all__ = ["run_distributed_campaign"]
+
+
+def run_distributed_campaign(
+    n_tasks: int,
+    utilizations: Sequence[float],
+    *,
+    nodes: Sequence[NodeSpec],
+    run_dir: str,
+    sets_per_point: int = 50,
+    seed: int = 0,
+    model: Optional[OverheadModel] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    replicas: int = 1,
+    resume: bool = False,
+    config: Optional[DistribConfig] = None,
+) -> List[CampaignRow]:
+    """The Fig. 3/4 campaign across a worker fleet (plus optional local
+    slots via ``config.local_jobs``); returns the assembled rows.
+
+    Semantics match :func:`~repro.campaign.sched.
+    run_schedulability_campaign` with a durable run directory: shards
+    checkpoint atomically as they arrive (now with ``worker``
+    provenance), failures past the retry budget raise
+    :class:`~repro.campaign.runner.CampaignIncomplete` with the
+    directory left resumable, and ``KeyboardInterrupt`` writes an
+    ``interrupted`` status before propagating.
+    """
+    grid = CampaignGrid(n_tasks=n_tasks, utilizations=tuple(utilizations),
+                        sets_per_point=sets_per_point, seed=seed,
+                        replicas=replicas)
+    store = CheckpointStore(run_dir)
+    fingerprint = None if model is None else repr(model)
+    store.initialize(grid, model_fingerprint=fingerprint,
+                     created=_utc_now(),
+                     note=f"distributed: {len(nodes)} node(s)")
+
+    shards = plan_shards(grid)
+    by_id = {s.shard_id: s for s in shards}
+    results: Dict[str, List[SchedulabilityPoint]] = {}
+    done_before: Set[str] = set()
+
+    existing = store.completed_shards() & set(by_id)
+    if existing and not resume:
+        raise RunDirError(
+            f"{store.run_dir} already holds {len(existing)} completed "
+            f"shard(s); use resume, or a fresh directory for a new run")
+    if resume:
+        for sid in sorted(existing):
+            results[sid] = store.read_shard(sid)
+        done_before = existing
+
+    tracker = ProgressTracker(len(shards),
+                              completed_before_start=len(done_before))
+    tracker.start(time.monotonic())
+    todo = [s for s in shards if s.shard_id not in done_before]
+
+    if not todo:
+        # Everything was already checkpointed: assemble and finish
+        # without touching the fleet.
+        store.write_status(tracker.snapshot(time.monotonic(),
+                                            state="complete",
+                                            updated=_utc_now()))
+        return _finish(store, grid, results, progress,
+                       seed=seed, sets_per_point=sets_per_point)
+
+    coord = Coordinator(todo, model, nodes=nodes, config=config)
+
+    def write_status(state: str) -> None:
+        snap = tracker.snapshot(time.monotonic(), state=state,
+                                updated=_utc_now())
+        snap["distrib"] = coord.stats()
+        snap["shards"] = coord.attribution()
+        store.write_status(snap)
+
+    def on_success(shard_id: str, points: List[SchedulabilityPoint],
+                   attempts: int, elapsed: float, worker: str) -> None:
+        results[shard_id] = points
+        store.write_shard(by_id[shard_id], points, attempts=attempts,
+                          elapsed_seconds=round(elapsed, 6), worker=worker)
+        tracker.record_success(elapsed, worker)
+        write_status("running")
+
+    def on_retry(shard_id: str, reason: str,
+                 worker: Optional[str]) -> None:
+        tracker.record_retry(reason, worker)
+        write_status("running")
+
+    write_status("running")
+    try:
+        failed = coord.run(on_success=on_success, on_retry=on_retry,
+                           on_tick=lambda: write_status("running"))
+    except KeyboardInterrupt:
+        write_status("interrupted")
+        raise
+    if failed:
+        write_status("failed")
+        raise CampaignIncomplete(failed)
+    write_status("complete")
+    return _finish(store, grid, results, progress,
+                   seed=seed, sets_per_point=sets_per_point)
+
+
+def _finish(store: CheckpointStore, grid: CampaignGrid,
+            results: Dict[str, List[SchedulabilityPoint]],
+            progress: Optional[Callable[[str], None]], *,
+            seed: int, sets_per_point: int) -> List[CampaignRow]:
+    """Assemble rows and write ``result.json`` exactly as the local path
+    does — the same call, argument for argument, is the byte-identity
+    contract (compare :func:`repro.campaign.sched.
+    run_schedulability_campaign`)."""
+    rows = assemble_rows(grid, results, progress=progress)
+    save_campaign(store.result_path(), rows, seed=seed,
+                  sets_per_point=sets_per_point,
+                  note=f"campaign N={grid.n_tasks} "
+                       f"({len(grid.utilizations)} points)")
+    return rows

@@ -88,20 +88,23 @@ def decode_line(line: bytes) -> Dict[str, Any]:
     return obj
 
 
-def parse_request(obj: Dict[str, Any]) -> Tuple[Any, str]:
+def parse_request(obj: Dict[str, Any],
+                  verbs: Sequence[str] = VERBS) -> Tuple[Any, str]:
     """Validate the envelope; returns ``(id, verb)``.
 
     The ``id`` is optional and opaque (any JSON value); the verb must be
-    one of :data:`VERBS`.
+    one of ``verbs`` — the admission vocabulary :data:`VERBS` by default,
+    or another service's (the distributed worker nodes reuse this framing
+    with their own verb set).
     """
     verb = obj.get("verb")
     rid = obj.get("id")
     if not isinstance(verb, str):
         raise ProtocolError("bad-request", "missing string 'verb'")
-    if verb not in VERBS:
+    if verb not in verbs:
         raise ProtocolError(
             "unknown-verb", f"unknown verb {verb!r}; expected one of "
-            f"{', '.join(VERBS)}")
+            f"{', '.join(verbs)}")
     return rid, verb
 
 

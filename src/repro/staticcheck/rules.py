@@ -156,22 +156,28 @@ class DeterminismRule(Rule):
     promise byte-identical resume: shard planning and seeding must stay
     clock-free (only the runner's dispatch loop may read clocks, for
     backoff/timeouts/metrics — see :data:`CLOCK_EXEMPT_FILES`).
-    Environment toggles live in ``util/toggles.py`` — the one sanctioned
-    read point.
+    ``distrib/`` inherits the same contract — wire codecs and the lease
+    table are clock-free; only the three process-facing files (worker
+    server, coordinator, run driver) may read clocks, for heartbeats,
+    lease deadlines, and status snapshots.  Environment toggles live in
+    ``util/toggles.py`` — the one sanctioned read point.
     """
 
     rule_id = "R002"
     name = "determinism"
     description = ("no seedless RNGs, wall-clock reads, or environment "
-                   "reads in core/ + sim/ + campaign/")
+                   "reads in core/ + sim/ + campaign/ + distrib/")
 
-    SCOPE_PACKAGES = ("core", "sim", "campaign")
+    SCOPE_PACKAGES = ("core", "sim", "campaign", "distrib")
     #: Files in scope that may read wall clocks: the campaign *runner*
     #: owns retry backoff, timeouts, throughput metering, and run-metadata
     #: timestamps — all of which live outside the determinism contract
-    #: (shard planning, seeding, and results never depend on them).  The
+    #: (shard planning, seeding, and results never depend on them); the
+    #: distrib worker/coordinator/run trio owns heartbeat pacing, lease
+    #: deadlines, and status snapshots under the identical argument.  The
     #: RNG and environment checks still apply there.
-    CLOCK_EXEMPT_FILES = ("campaign/runner.py",)
+    CLOCK_EXEMPT_FILES = ("campaign/runner.py", "distrib/worker.py",
+                          "distrib/coordinator.py", "distrib/run.py")
 
     #: Wall-clock reads by module attribute.
     CLOCK_ATTRS = {
@@ -306,6 +312,7 @@ LAYERS: Dict[str, int] = {
     "analysis": 6,
     "campaign": 7,
     "service": 8,
+    "distrib": 9,
 }
 
 
@@ -328,7 +335,7 @@ class LayeringRule(Rule):
     name = "layering"
     description = ("package imports must follow the DAG util → core → "
                    "workload → overheads/partition → sim → sync/fault → "
-                   "analysis → service; no cycles")
+                   "analysis → campaign → service → distrib; no cycles")
 
     def _imports_of(self, module: ModuleInfo) -> Iterator[Tuple[str, ast.AST]]:
         """Top-level repro packages imported by ``module`` (resolving

@@ -24,11 +24,13 @@ __all__ = [
     "FAIL_SHARD_ENV",
     "DIE_SHARD_ENV",
     "FUSE_DIR_ENV",
+    "SLOW_SECONDS_ENV",
     "flaky_job",
     "exit_job",
     "sleep_job",
     "failing_shard",
     "dying_shard",
+    "slow_shard",
 ]
 
 #: Shard id that :func:`failing_shard` raises on (every attempt).
@@ -37,6 +39,8 @@ FAIL_SHARD_ENV = "REPRO_TEST_FAIL_SHARD"
 DIE_SHARD_ENV = "REPRO_TEST_DIE_SHARD"
 #: Directory for the env-selected workers' fuse files.
 FUSE_DIR_ENV = "REPRO_TEST_FUSE_DIR"
+#: Seconds :func:`slow_shard` sleeps before evaluating (every shard).
+SLOW_SECONDS_ENV = "REPRO_TEST_SLOW_SECONDS"
 
 
 def flaky_job(payload):
@@ -83,4 +87,18 @@ def dying_shard(args):
     spec, _model = args
     if spec.shard_id == os.environ.get(DIE_SHARD_ENV):
         os._exit(1)
+    return evaluate_shard(args)
+
+
+def slow_shard(args):
+    """Shard evaluator that stalls every shard by ``SLOW_SECONDS_ENV``
+    seconds before producing the normal deterministic points.
+
+    The distributed tests plug this into a :class:`~repro.distrib.worker.
+    WorkerServer` whose heartbeat interval exceeds the coordinator's
+    lease timeout: every lease expires and is re-leased while the slow
+    attempt still runs, so its eventual result arrives as a *late
+    duplicate* — exercising accept-first/discard-duplicate without
+    changing what any shard computes."""
+    time.sleep(float(os.environ.get(SLOW_SECONDS_ENV, "0")))
     return evaluate_shard(args)
