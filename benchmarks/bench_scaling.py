@@ -1,12 +1,15 @@
-"""Performance regression — packed-key fast path vs. the reference.
+"""Performance regression — the three-tier PD² kernel stack vs. itself.
 
-Two machine-checked claims, written to ``benchmarks/out/BENCH_scaling.json``
-(machine-readable, alongside the human ``scaling.txt``):
+Three machine-checked claims, written to
+``benchmarks/out/BENCH_scaling.json`` (machine-readable, alongside the
+human ``scaling.txt``):
 
-* **Simulator throughput**: slots/second of ``simulate_pfair`` with the
-  packed-key fast path on vs. off, for N in {16, 64, 256} tasks — and,
-  always, that both modes produce identical ``(slot, processor, task)``
-  allocations and identical stats.
+* **Simulator throughput, per kernel**: slots/second of
+  ``simulate_pfair`` through each tier — the reference heap simulator,
+  the packed-key fast path, and the struct-of-arrays vector kernel —
+  for N in {16, 64, 256} tasks on M=4, and, always, that all three
+  produce identical ``(slot, processor, task)`` allocations and
+  identical stats (``decisions_identical`` per grid point).
 * **Campaign speedup**: wall-clock of the small Fig. 3 campaign
   (N=50, 10 grid points, 25 sets/point — the first loop of
   ``bench_fig3_min_processors.py``) under the fast path (serial and with
@@ -19,9 +22,20 @@ Two machine-checked claims, written to ``benchmarks/out/BENCH_scaling.json``
   pool — measuring the wire/lease overhead and the scale-out headroom,
   with ``result.json`` byte-identical across all of them.
 
-``REPRO_PERF_SMOKE=1`` (the CI perf-smoke job) runs only the smallest
-size and only the decision-equality assertions — no timing, so the job
-cannot flake on a loaded runner.
+The JSON is written with *merge* semantics: each test rewrites only its
+own section, so rerunning the throughput bench preserves the committed
+``campaign``/``distrib`` records and vice versa.
+
+Two reduced modes for CI:
+
+* ``--quick`` (the perf-smoke job): one timing rep per kernel and grid
+  point, the full three-way decision-identity gate (hard), and a *soft*
+  throughput floor — a ``::warning`` annotation if the vector kernel
+  lands under 5x the reference anywhere, because shared runners are too
+  noisy to fail on timing.  Writes ``scaling.txt`` (the uploaded
+  artifact) but leaves ``BENCH_scaling.json`` untouched.
+* ``REPRO_PERF_SMOKE=1`` (legacy): equality assertions only, no timing
+  at all.
 """
 
 import json
@@ -82,25 +96,57 @@ def _sim_snapshot(result):
                     m.completed_at) for m in s.misses))
 
 
+#: ``simulate_pfair`` keyword sets selecting each kernel tier.
+KERNELS = {
+    "reference": dict(fastpath=False),
+    "fastpath": dict(fastpath=True, vector=False),
+    "vector": dict(vector=True),
+}
+
+
 def _assert_sim_decisions_identical(n_tasks: int, slots: int) -> None:
-    ref = simulate_pfair(_make_tasks(n_tasks), M, slots, trace=True,
-                         fastpath=False)
-    HYPERPERIOD_CACHE.clear()
-    fast = simulate_pfair(_make_tasks(n_tasks), M, slots, trace=True,
-                          fastpath=True)
-    assert _sim_snapshot(ref) == _sim_snapshot(fast), (
+    snaps = {}
+    for name, kw in KERNELS.items():
+        HYPERPERIOD_CACHE.clear()
+        snaps[name] = _sim_snapshot(
+            simulate_pfair(_make_tasks(n_tasks), M, slots, trace=True, **kw))
+    assert snaps["reference"] == snaps["fastpath"], (
         f"fast path diverged from the reference at N={n_tasks}")
+    assert snaps["reference"] == snaps["vector"], (
+        f"vector kernel diverged from the reference at N={n_tasks}")
 
 
-def _sim_rate(n_tasks: int, fastpath: bool, slots: int) -> float:
+def _sim_rate(n_tasks: int, kernel: str, slots: int, reps: int = REPS
+              ) -> float:
     best = float("inf")
-    for _ in range(REPS):
+    for _ in range(reps):
         tasks = _make_tasks(n_tasks)
         HYPERPERIOD_CACHE.clear()
         t0 = time.perf_counter()
-        simulate_pfair(tasks, M, slots, fastpath=fastpath)
+        simulate_pfair(tasks, M, slots, **KERNELS[kernel])
         best = min(best, time.perf_counter() - t0)
     return slots / best
+
+
+def _merge_json(section: str, value) -> str:
+    """Rewrite one top-level section of BENCH_scaling.json, preserving
+    the rest (campaign, distrib, ...) so benches can rerun independently."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    json_path = os.path.join(OUT_DIR, "BENCH_scaling.json")
+    payload = {}
+    if os.path.exists(json_path):
+        with open(json_path) as fh:
+            payload = json.load(fh)
+    payload.update({
+        "schema": 2,
+        "generated_by": "benchmarks/bench_scaling.py",
+        "full_scale": full_scale(),
+        section: value,
+    })
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return json_path
 
 
 def _campaign_rows():
@@ -164,24 +210,62 @@ def test_fastpath_decision_equality_smallest():
 
 
 @pytest.mark.skipif(_SMOKE, reason="perf smoke runs equality checks only")
-def test_fastpath_throughput_and_campaign(benchmark):
-    benchmark.pedantic(_sim_rate, args=(NS[0], True, min(SLOTS, 2000)),
-                       rounds=1, iterations=1)
+def test_kernel_throughput_and_campaign(benchmark, quick):
+    slots = min(SLOTS, 4_000) if quick else SLOTS
+    reps = 1 if quick else REPS
+    benchmark.pedantic(_sim_rate, args=(NS[0], "vector", min(slots, 2000)),
+                       kwargs={"reps": 1}, rounds=1, iterations=1)
 
     sim_points = []
     for n in NS:
-        _assert_sim_decisions_identical(n, min(SLOTS, 2000))
-        rate_fast = _sim_rate(n, True, SLOTS)
-        rate_ref = _sim_rate(n, False, SLOTS)
+        # Hard gate: all three kernels, identical decisions — quick mode
+        # keeps this at full strength.
+        _assert_sim_decisions_identical(n, min(slots, 2000))
+        rates = {k: _sim_rate(n, k, slots, reps) for k in KERNELS}
         sim_points.append({
             "n_tasks": n,
             "processors": M,
-            "slots": SLOTS,
-            "slots_per_sec_fastpath": round(rate_fast, 1),
-            "slots_per_sec_reference": round(rate_ref, 1),
-            "speedup": round(rate_fast / rate_ref, 2),
+            "slots": slots,
+            "slots_per_sec_reference": round(rates["reference"], 1),
+            "slots_per_sec_fastpath": round(rates["fastpath"], 1),
+            "slots_per_sec_vector": round(rates["vector"], 1),
+            "speedup_fastpath": round(
+                rates["fastpath"] / rates["reference"], 2),
+            "speedup_vector": round(
+                rates["vector"] / rates["reference"], 2),
             "decisions_identical": True,
         })
+
+    table = format_table(
+        ["N tasks", "ref kslots/s", "fast kslots/s", "vec kslots/s",
+         "fast x", "vec x"],
+        [[p["n_tasks"], round(p["slots_per_sec_reference"] / 1000, 1),
+          round(p["slots_per_sec_fastpath"] / 1000, 1),
+          round(p["slots_per_sec_vector"] / 1000, 1),
+          p["speedup_fastpath"], p["speedup_vector"]]
+         for p in sim_points],
+        title=f"PD² simulator throughput over {slots} slots, M={M} "
+              "(reference / fast path / vector, identical decisions)")
+
+    # Soft throughput floor: the vector kernel targets >= 5x the
+    # reference on every grid point (>= 10x on at least one, on a quiet
+    # host).  Timing on shared runners is advisory — annotate, never
+    # fail.
+    floor = min(p["speedup_vector"] for p in sim_points)
+    if floor < 5.0:
+        print(f"::warning title=vector throughput floor::vector kernel "
+              f"speedup {floor:.2f}x < 5x target at "
+              f"N={min(sim_points, key=lambda p: p['speedup_vector'])['n_tasks']} "
+              "(noisy runner, or a real regression — compare "
+              "benchmarks/out/BENCH_scaling.json)")
+
+    if quick:
+        # CI artifact only: no campaign timing, no JSON rewrite (the
+        # committed JSON records full-scale numbers from a quiet host).
+        write_report("scaling.txt", table +
+                     "\n\n[--quick mode: single rep, campaign timing "
+                     "skipped; committed BENCH_scaling.json untouched]")
+        return
 
     fast_reps, rows_fast = _timed_campaign(True)
     off_reps, rows_off = _timed_campaign(False)
@@ -192,59 +276,43 @@ def test_fastpath_throughput_and_campaign(benchmark):
     t_fast, t_off, t_warm = min(fast_reps), min(off_reps), min(warm_reps)
     t_best = min(t_fast, t_warm)
 
-    payload = {
-        "schema": 1,
-        "generated_by": "benchmarks/bench_scaling.py",
-        "full_scale": full_scale(),
-        "simulator": sim_points,
-        "campaign": {
-            "config": CAMPAIGN,
-            "fastpath_seconds": round(t_fast, 3),
-            "fastpath_rep_seconds": [round(t, 3) for t in fast_reps],
-            "fastpath_warm_workers_seconds": round(t_warm, 3),
-            "fastpath_warm_workers_rep_seconds":
-                [round(t, 3) for t in warm_reps],
-            "no_fastpath_seconds": round(t_off, 3),
-            "no_fastpath_rep_seconds": [round(t, 3) for t in off_reps],
-            "seed_baseline_seconds": SEED_BASELINE_SECONDS,
-            "seed_baseline_commit": SEED_BASELINE_COMMIT,
-            "speedup_vs_no_fastpath": round(t_off / t_best, 2),
-            "speedup_vs_seed": round(SEED_BASELINE_SECONDS / t_best, 2),
-            "rows_identical_across_modes": True,
-            "note": ("serial/no-fastpath reps are cold (caches cleared); "
-                     "warm-worker reps after the first reuse the "
-                     "persistent pool's analysis caches, the intended "
-                     "behavior of repeated campaign invocations"),
-            "rows": [{"utilization": round(r[0], 4),
-                      "m_pd2_mean": round(r[1], 4),
-                      "m_ff_mean": round(r[2], 4)} for r in rows_fast],
-        },
+    campaign = {
+        "config": CAMPAIGN,
+        "fastpath_seconds": round(t_fast, 3),
+        "fastpath_rep_seconds": [round(t, 3) for t in fast_reps],
+        "fastpath_warm_workers_seconds": round(t_warm, 3),
+        "fastpath_warm_workers_rep_seconds":
+            [round(t, 3) for t in warm_reps],
+        "no_fastpath_seconds": round(t_off, 3),
+        "no_fastpath_rep_seconds": [round(t, 3) for t in off_reps],
+        "seed_baseline_seconds": SEED_BASELINE_SECONDS,
+        "seed_baseline_commit": SEED_BASELINE_COMMIT,
+        "speedup_vs_no_fastpath": round(t_off / t_best, 2),
+        "speedup_vs_seed": round(SEED_BASELINE_SECONDS / t_best, 2),
+        "rows_identical_across_modes": True,
+        "note": ("serial/no-fastpath reps are cold (caches cleared); "
+                 "warm-worker reps after the first reuse the "
+                 "persistent pool's analysis caches, the intended "
+                 "behavior of repeated campaign invocations"),
+        "rows": [{"utilization": round(r[0], 4),
+                  "m_pd2_mean": round(r[1], 4),
+                  "m_ff_mean": round(r[2], 4)} for r in rows_fast],
     }
-    os.makedirs(OUT_DIR, exist_ok=True)
-    json_path = os.path.join(OUT_DIR, "BENCH_scaling.json")
-    with open(json_path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    json_path = _merge_json("simulator", sim_points)
+    _merge_json("campaign", campaign)
 
-    table = format_table(
-        ["N tasks", "fast kslots/s", "ref kslots/s", "speedup"],
-        [[p["n_tasks"], round(p["slots_per_sec_fastpath"] / 1000, 1),
-          round(p["slots_per_sec_reference"] / 1000, 1), p["speedup"]]
-         for p in sim_points],
-        title=f"PD² simulator throughput over {SLOTS} slots, M={M} "
-              "(fast path vs. reference, identical decisions)")
     campaign_lines = (
         f"Fig. 3 campaign (N=50, 10 pts, 25 sets): "
         f"fastpath {t_fast:.3f}s | warm x2 {t_warm:.3f}s | "
         f"no-fastpath {t_off:.3f}s | seed baseline "
         f"{SEED_BASELINE_SECONDS:.3f}s "
-        f"({payload['campaign']['speedup_vs_seed']}x vs seed)")
+        f"({campaign['speedup_vs_seed']}x vs seed)")
     write_report("scaling.txt", table + "\n\n" + campaign_lines +
                  f"\n[machine-readable: {json_path}]")
 
     # Correctness-style guards only; timing thresholds live in the JSON
     # record, not in assertions (CI runners are too noisy to gate on).
-    assert all(p["slots_per_sec_fastpath"] > 0 for p in sim_points)
+    assert all(p["slots_per_sec_vector"] > 0 for p in sim_points)
 
 
 # -- distributed dispatch (docs/DISTRIBUTED.md) ---------------------------
@@ -333,11 +401,14 @@ def test_distrib_byte_identity_smallest(tmp_path):
 
 
 @pytest.mark.skipif(_SMOKE, reason="perf smoke runs equality checks only")
-def test_distrib_scaling(tmp_path):
+def test_distrib_scaling(tmp_path, quick):
     """1 vs. 2 localhost worker nodes on the bench campaign, against the
     local warm pool — recorded into BENCH_scaling.json's ``distrib``
     section (merged, so this test can rerun independently)."""
     from repro.distrib import NodeSpec
+
+    if quick:
+        pytest.skip("--quick runs kernel throughput + equality only")
 
     # Local-pool baseline through the same distributed code path
     # (local_jobs only, no wire) and through the plain engine.
@@ -368,12 +439,7 @@ def test_distrib_scaling(tmp_path):
                           "seconds": round(best, 3)})
     shutdown_worker_pool()
 
-    json_path = os.path.join(OUT_DIR, "BENCH_scaling.json")
-    payload = {}
-    if os.path.exists(json_path):
-        with open(json_path) as fh:
-            payload = json.load(fh)
-    payload["distrib"] = {
+    json_path = _merge_json("distrib", {
         "config": CAMPAIGN,
         "local_pool_2_jobs_seconds": round(t_local, 3),
         "scenarios": scenarios,
@@ -381,11 +447,7 @@ def test_distrib_scaling(tmp_path):
         "note": ("subprocess worker nodes on localhost: measures the "
                  "wire/lease overhead of repro.distrib, not cluster "
                  "scale-out; nodes share the machine's cores"),
-    }
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(json_path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    })
     print(f"\ndistrib: local(2 jobs) {t_local:.3f}s | " +
           " | ".join(f"{s['nodes']}x2 {s['seconds']:.3f}s"
                      for s in scenarios) +

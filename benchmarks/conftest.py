@@ -14,12 +14,27 @@ as a performance regression harness.
 import os
 import sys
 
+import pytest
+
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _SRC = os.path.join(_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="bench_scaling: one timing rep per kernel and grid point, "
+             "hard decision-identity gate, soft (::warning) throughput "
+             "floor, no JSON rewrite — the CI perf-smoke configuration")
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    return bool(request.config.getoption("--quick"))
 
 
 def full_scale() -> bool:

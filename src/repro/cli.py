@@ -75,12 +75,17 @@ def _cmd_windows(args: argparse.Namespace) -> int:
 
 
 def _apply_fastpath_flag(args: argparse.Namespace) -> None:
-    """Honour ``--no-fastpath``: force reference implementations
-    process-wide (campaign workers inherit through the pool initializer)."""
+    """Honour ``--no-fastpath`` / ``--no-vector``: force reference (or
+    non-vector) implementations process-wide (campaign workers inherit
+    through the pool initializer)."""
     if getattr(args, "no_fastpath", False):
         from .util.toggles import set_fastpath
 
         set_fastpath(False)
+    if getattr(args, "no_vector", False):
+        from .util.toggles import set_vector
+
+        set_vector(False)
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
@@ -515,6 +520,9 @@ def _add_campaign_commands(sub: "argparse._SubParsersAction[argparse.ArgumentPar
                         help="which table to print from the finished rows")
         cp.add_argument("--no-fastpath", action="store_true",
                         help="force the reference analysis code paths")
+        cp.add_argument("--no-vector", action="store_true",
+                        help="disable the struct-of-arrays PD² kernel "
+                             "(keep the packed-key fast path)")
 
     cp = csub.add_parser("run", help="start a checkpointed campaign")
     cp.add_argument("run_dir", help="run directory (created if missing)")
@@ -588,6 +596,9 @@ def _add_worker_command(sub: "argparse._SubParsersAction[argparse.ArgumentParser
                    help="liveness frame interval while a shard computes")
     p.add_argument("--no-fastpath", action="store_true",
                    help="force the reference analysis code paths")
+    p.add_argument("--no-vector", action="store_true",
+                   help="disable the struct-of-arrays PD² kernel "
+                        "(keep the packed-key fast path)")
     p.set_defaults(fn=_cmd_worker)
 
 
@@ -657,6 +668,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fastpath", action="store_true",
                    help="force the reference simulator (disable the "
                         "packed-key PD² fast path)")
+    p.add_argument("--no-vector", action="store_true",
+                   help="disable the struct-of-arrays PD² kernel "
+                        "(keep the packed-key fast path)")
     p.add_argument("--width", type=int, default=60,
                    help="columns of schedule to print")
     p.set_defaults(fn=_cmd_schedule)
@@ -702,6 +716,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fastpath", action="store_true",
                        help="force the reference analysis/simulation code "
                             "paths (disable caches and fast paths)")
+        p.add_argument("--no-vector", action="store_true",
+                       help="disable the struct-of-arrays PD² kernel "
+                            "(keep the packed-key fast path)")
         p.set_defaults(fn=fn)
 
     _add_campaign_commands(sub)

@@ -52,6 +52,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import TYPE_CHECKING, Iterable, List, Tuple
 
+import numpy as np
+
 from .subtask import window_table
 
 if TYPE_CHECKING:
@@ -68,6 +70,7 @@ __all__ = [
     "TaskKeyTable",
     "task_key_table",
     "check_capacity",
+    "column_block",
 ]
 
 #: Field widths.  A 32-bit index field allows ~4e9 subtasks per task
@@ -197,6 +200,57 @@ class TaskKeyTable:
     def release(self, index: int) -> int:
         q, j = divmod(index - 1, self.execution)
         return self.rel[j] + q * self.period
+
+
+@lru_cache(maxsize=None)
+def _column_base(
+    execution: int, period: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One job's subtask parameter columns for ``(e, p)``, phase 0.
+
+    Arrays of length ``e`` indexed by the within-job offset ``j`` (subtask
+    ``j+1`` of job 1): pseudo-release, pseudo-deadline, ``1 - b`` and the
+    job-invariant group-deadline offset ``D - d`` (``-1`` marks a light
+    task, whose group deadline is 0 by convention).  All int64.
+    """
+    table = window_table(execution, period)
+    rel = np.empty(execution, dtype=np.int64)
+    dl = np.empty(execution, dtype=np.int64)
+    bbar = np.empty(execution, dtype=np.int64)
+    gdd = np.empty(execution, dtype=np.int64)
+    for j in range(execution):
+        i = j + 1
+        d = table.deadline(i)
+        gd = table.group_deadline(i)
+        rel[j] = table.release(i)
+        dl[j] = d
+        bbar[j] = 1 - table.b_bit(i)
+        gdd[j] = (gd - d) if gd else -1
+    rel.setflags(write=False)
+    dl.setflags(write=False)
+    bbar.setflags(write=False)
+    gdd.setflags(write=False)
+    return rel, dl, bbar, gdd
+
+
+def column_block(
+    execution: int, period: int, phase: int, start_index: int, count: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized subtask parameter columns for the struct-of-arrays kernel.
+
+    Returns int64 arrays ``(release, deadline, b_bar, gd_delta)`` of
+    length ``count`` covering subtasks ``start_index ..
+    start_index + count - 1`` (1-based) of a periodic task, releases and
+    deadlines in absolute slots (phase included).  Every parameter is
+    periodic in the index with period ``e`` (a job shifts times by ``p``),
+    so the whole block is one gather plus one vectorized add over the
+    cached :func:`_column_base` row — no per-subtask Python arithmetic.
+    """
+    rel0, dl0, bbar0, gdd0 = _column_base(execution, period)
+    idx0 = np.arange(start_index - 1, start_index - 1 + count, dtype=np.int64)
+    q, j = np.divmod(idx0, execution)
+    shift = q * period + phase
+    return rel0[j] + shift, dl0[j] + shift, bbar0[j], gdd0[j]
 
 
 def task_key_table(task: "PeriodicTask") -> TaskKeyTable:

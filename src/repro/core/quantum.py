@@ -198,12 +198,14 @@ class QuantumSimulator:
         if not self.preserve_affinity:
             return list(zip(range(capacity), scheduled))
         taken = [False] * capacity
-        assignment: List[Tuple[Optional[int], Subtask]] = []
+        per_task = self.stats.per_task  # read-only: entries are created by
+        assignment: List[Tuple[Optional[int], Subtask]] = []  # on_scheduled
         # Pass 1: continuations keep their processor (no preemption at all).
         for st in scheduled:
-            ts = self.stats.stats_for(st.task)
+            ts = per_task.get(st.task.task_id)
             proc: Optional[int] = None
-            if (ts.last_slot == now - 1 and ts.last_proc is not None
+            if (ts is not None and ts.last_slot == now - 1
+                    and ts.last_proc is not None
                     and ts.last_proc < capacity and not taken[ts.last_proc]):
                 proc = ts.last_proc
                 taken[proc] = True
@@ -214,8 +216,9 @@ class QuantumSimulator:
         out: List[Tuple[int, Subtask]] = []
         for proc, st in assignment:
             if proc is None:
-                ts = self.stats.stats_for(st.task)
-                if (ts.last_proc is not None and ts.last_proc < capacity
+                ts = per_task.get(st.task.task_id)
+                if (ts is not None and ts.last_proc is not None
+                        and ts.last_proc < capacity
                         and not taken[ts.last_proc]):
                     proc = ts.last_proc
                     taken[proc] = True
@@ -246,11 +249,18 @@ class QuantumSimulator:
         and package the :class:`SimResult`."""
         self.stats.slots = horizon
         # Unfinished subtasks with expired deadlines are misses too (unless
-        # the task left the system before generating them).
-        for _, _, st in list(self._pending) + list(self._ready):
-            departed = (st.task.last_subtask is not None
-                        and st.index > st.task.last_subtask)
-            if st.deadline <= horizon and not departed:
+        # the task left the system before generating them).  Canonical
+        # order: priority-key order (with a task-id/index tail for
+        # policies whose key is not total) — every simulator tier emits
+        # end-of-run misses in exactly this order, and the differential
+        # suite asserts it.
+        leftovers = [st for _, _, st in list(self._pending) + list(self._ready)
+                     if not (st.task.last_subtask is not None
+                             and st.index > st.task.last_subtask)]
+        leftovers.sort(
+            key=lambda st: (self.policy.key(st), st.task.task_id, st.index))
+        for st in leftovers:
+            if st.deadline <= horizon:
                 self._record_miss(st, None)
         return SimResult(
             stats=self.stats,

@@ -13,6 +13,7 @@ from .varquantum import (
 )
 from .quantum import DeadlineMissError, QuantumSimulator, SimResult, simulate_pfair
 from .trace import Allocation, ScheduleTrace, render_schedule, render_windows
+from .vector import VectorPD2Simulator
 from .validate import (
     ValidationError,
     check_erfair_lags,
@@ -46,6 +47,7 @@ __all__ = [
     "DeadlineMissError",
     "QuantumSimulator",
     "SimResult",
+    "VectorPD2Simulator",
     "simulate_pfair",
     "Allocation",
     "ScheduleTrace",

@@ -55,6 +55,8 @@ __all__ = [
     "CacheModel",
     "ColdResumptions",
     "count_cold_resumptions",
+    "CycleDelta",
+    "CycleLog",
     "HyperperiodMemo",
     "HYPERPERIOD_CACHE",
     "hyperperiod_cache_key",
@@ -143,7 +145,7 @@ class CacheModel:
 
 #: Measured cycle deltas, shared across simulation runs in this process.
 #: Keyed by :func:`hyperperiod_cache_key`; each value is a dict mapping a
-#: boundary signature to its :class:`_CycleDelta`.  Entries contain only
+#: boundary signature to its :class:`CycleDelta`.  Entries contain only
 #: plain integers (no task objects, no absolute times), so they apply to
 #: any run of an equivalent system regardless of task ids.
 HYPERPERIOD_CACHE = LRUCache(capacity=256)
@@ -165,7 +167,7 @@ def hyperperiod_cache_key(sim: "QuantumSimulator") -> tuple:
     )
 
 
-class _CycleDelta:
+class CycleDelta:
     """Per-cycle statistics delta, all relative to the cycle boundary.
 
     ``per_task[pos]`` is ``(quanta, preemptions, migrations, jp_rel)`` for
@@ -173,6 +175,11 @@ class _CycleDelta:
     ``(job_offset, count)`` pairs of per-job preemption counts with job
     indices relative to the boundary.  ``cycles`` is the cycle length in
     hyperperiods.
+
+    Deltas contain only plain integers relative to the boundary, and both
+    PD² kernels (:mod:`repro.sim.fastpath` and :mod:`repro.sim.vector`)
+    are decision-identical, so a delta measured by one kernel applies
+    verbatim to the other — :data:`HYPERPERIOD_CACHE` entries are shared.
     """
 
     __slots__ = ("cycles", "per_task", "busy", "idle")
@@ -184,6 +191,67 @@ class _CycleDelta:
         self.per_task = per_task
         self.busy = busy
         self.idle = idle
+
+
+#: Backwards-compatible alias (the class was private before the vector
+#: kernel needed to share it).
+_CycleDelta = CycleDelta
+
+
+class CycleLog:
+    """Boundary-signature bookkeeping shared by both PD² fast kernels.
+
+    One instance serves one simulation run.  The owner samples a boundary
+    signature at every hyperperiod multiple and drives the protocol:
+
+    1. :meth:`probe` — a cross-run cache hit returns a ready-made
+       :class:`CycleDelta` immediately;
+    2. otherwise :meth:`previous` — a repeat of a signature seen earlier
+       *this run* identifies a cycle; the owner measures the delta from
+       the recorded snapshot and :meth:`store`\\ s it for future runs;
+    3. otherwise :meth:`record` the signature and snapshot and keep
+       simulating; after :data:`MAX_BOUNDARIES` distinct signatures
+       :attr:`exhausted` is set and the owner should stop sampling.
+
+    The class is agnostic to what signatures and snapshots contain — the
+    fastpath's heap-state capture and the vector kernel's column-state
+    capture produce identical tuples by construction, which is what makes
+    the cross-kernel cache sharing sound (and is asserted by the
+    differential suite).
+    """
+
+    #: Boundaries sampled before giving up on finding a cycle.
+    MAX_BOUNDARIES = 16
+
+    __slots__ = ("_seen", "_ckey", "_cached", "exhausted")
+
+    def __init__(self, cache_key: tuple) -> None:
+        self._seen: Dict[tuple, Tuple[int, tuple]] = {}
+        self._ckey = cache_key
+        self._cached: Optional[Dict[tuple, CycleDelta]] = \
+            HYPERPERIOD_CACHE.get(cache_key)
+        self.exhausted = False
+
+    def probe(self, sig: tuple) -> Optional[CycleDelta]:
+        """Cross-run cached delta for ``sig``, or ``None``."""
+        return self._cached.get(sig) if self._cached is not None else None
+
+    def previous(self, sig: tuple) -> Optional[Tuple[int, tuple]]:
+        """``(boundary_time, snapshot)`` of an earlier sighting, or ``None``."""
+        return self._seen.get(sig)
+
+    def store(self, sig: tuple, delta: CycleDelta) -> None:
+        """Publish a measured delta to the cross-run cache."""
+        if self._cached is None:
+            self._cached = {}
+            HYPERPERIOD_CACHE.put(self._ckey, self._cached)
+        self._cached[sig] = delta
+
+    def record(self, sig: tuple, now: int, snapshot: tuple) -> None:
+        """Remember ``sig`` at ``now`` for later cycle detection."""
+        self._seen[sig] = (now, snapshot)
+        if len(self._seen) >= self.MAX_BOUNDARIES:
+            self.exhausted = True
 
 
 class HyperperiodMemo:
@@ -218,18 +286,14 @@ class HyperperiodMemo:
     """
 
     #: Boundaries sampled before giving up on finding a cycle.
-    MAX_BOUNDARIES = 16
+    MAX_BOUNDARIES = CycleLog.MAX_BOUNDARIES
 
     def __init__(self, sim: "QuantumSimulator", hyperperiod: int) -> None:
         self.sim = sim
         self.H = hyperperiod
         self.next_boundary = hyperperiod
         self.done = False
-        # signature -> (boundary time, stats snapshot)
-        self._seen: Dict[tuple, Tuple[int, tuple]] = {}
-        self._ckey = hyperperiod_cache_key(sim)
-        self._cached: Optional[Dict[tuple, _CycleDelta]] = \
-            HYPERPERIOD_CACHE.get(self._ckey)
+        self._log = CycleLog(hyperperiod_cache_key(sim))
 
     # -- boundary protocol ---------------------------------------------------
 
@@ -240,16 +304,14 @@ class HyperperiodMemo:
         if sim.stats.misses or sim._ready:
             self.done = True
             return now
+        log = self._log
         sig = self._signature(now)
-        delta = self._cached.get(sig) if self._cached is not None else None
+        delta = log.probe(sig)
         if delta is None:
-            hit = self._seen.get(sig)
+            hit = log.previous(sig)
             if hit is not None:
                 delta = self._measure(now, *hit)
-                if self._cached is None:
-                    self._cached = {}
-                    HYPERPERIOD_CACHE.put(self._ckey, self._cached)
-                self._cached[sig] = delta
+                log.store(sig, delta)
         if delta is not None:
             cycle_len = delta.cycles * self.H
             c = (horizon - now) // cycle_len
@@ -257,8 +319,8 @@ class HyperperiodMemo:
                 now = self._apply(now, delta, c)
             self.done = True
             return now
-        self._seen[sig] = (now, self._snapshot())
-        if len(self._seen) >= self.MAX_BOUNDARIES:
+        log.record(sig, now, self._snapshot())
+        if log.exhausted:
             self.done = True
         else:
             self.next_boundary = now + self.H
@@ -304,7 +366,7 @@ class HyperperiodMemo:
         return (tuple(rows), self.sim.stats.busy_quanta,
                 self.sim.stats.idle_quanta)
 
-    def _measure(self, now: int, t0: int, snap: tuple) -> _CycleDelta:
+    def _measure(self, now: int, t0: int, snap: tuple) -> CycleDelta:
         """Delta accumulated over the cycle ``[t0, now)``."""
         rows, busy0, idle0 = snap
         stats = self.sim.stats
@@ -322,13 +384,13 @@ class HyperperiodMemo:
             ))
             per_task.append((ts.quanta - q0, ts.preemptions - p0,
                              ts.migrations - m0, jp_rel))
-        return _CycleDelta((now - t0) // self.H, tuple(per_task),
+        return CycleDelta((now - t0) // self.H, tuple(per_task),
                            stats.busy_quanta - busy0,
                            stats.idle_quanta - idle0)
 
     # -- tiling --------------------------------------------------------------
 
-    def _apply(self, now: int, delta: _CycleDelta, c: int) -> int:
+    def _apply(self, now: int, delta: CycleDelta, c: int) -> int:
         """Advance the simulator ``c`` cycles from the boundary at ``now``
         by applying ``delta`` ``c`` times; returns the new clock."""
         sim = self.sim

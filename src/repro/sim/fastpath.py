@@ -26,16 +26,16 @@ per-slot object churn:
 The equivalence argument is split between the packed-key order proof
 (:mod:`repro.core.keytab`) and the differential test suite
 (``tests/test_fastpath_differential.py``), which checks hundreds of
-randomized task systems for identical schedules and stats.  One
-documented divergence: when a run ends with *unscheduled* subtasks whose
-deadlines passed (an overloaded system), the final-sweep misses are
-reported in deterministic sorted order here but in internal heap order
-by the reference — the same set, possibly permuted.  Misses recorded
-during the run (late completions) are identical in order and content.
+randomized task systems for identical schedules and stats.  End-of-run
+unscheduled misses (an overloaded system) are reported in the canonical
+priority-key order all three simulator tiers share; misses recorded
+during the run (late completions) follow the schedule order.
 
 Use :func:`repro.sim.quantum.simulate_pfair`, which dispatches here
 automatically when :func:`supports` says the configuration qualifies and
-the fast path is enabled (see :mod:`repro.util.toggles`).
+the fast path is enabled (see :mod:`repro.util.toggles`).  The
+struct-of-arrays kernel (:mod:`repro.sim.vector`) sits one tier above
+and takes precedence when it supports the configuration.
 """
 
 from __future__ import annotations
@@ -309,7 +309,10 @@ class FastPD2Simulator:
     def finalize(self, horizon: int) -> SimResult:
         """Sweep unfinished subtasks for misses and package the result."""
         self.stats.slots = horizon
-        leftovers = sorted(key for _, key in self._pending) + sorted(self._ready)
+        # Canonical end-of-run miss order (shared by all simulator tiers):
+        # priority-key order over every unfinished subtask.  Packed-key
+        # order is exactly PD² tuple order, so one sort suffices.
+        leftovers = sorted([key for _, key in self._pending] + self._ready)
         for key in leftovers:
             deadline, tid, idx = unpack_key(key)
             if deadline <= horizon:

@@ -28,19 +28,25 @@ def simulate_pfair(
     horizon: int,
     policy: Optional[PriorityPolicy] = None,
     *,
+    vector: Optional[bool] = None,
     fastpath: Optional[bool] = None,
     **kwargs: object,
 ) -> SimResult:
     """One-call convenience wrapper: build a simulator and run it.
 
-    ``fastpath=None`` (the default) dispatches to the packed-key
-    :class:`~repro.sim.fastpath.FastPD2Simulator` whenever it supports
-    the configuration (periodic tasks, PD² priorities, no arrivals) and
-    the process-wide toggle (:mod:`repro.util.toggles`) is on; the fast
-    path is decision-identical to :class:`QuantumSimulator`.  Pass
-    ``fastpath=False`` (or run with ``--no-fastpath`` /
-    ``REPRO_NO_FASTPATH=1``) to force the reference simulator,
-    ``fastpath=True`` to require the fast path (raises if unsupported).
+    Dispatches down the decision-identical kernel chain **vector →
+    fastpath → reference**: the struct-of-arrays
+    :class:`~repro.sim.vector.VectorPD2Simulator` when it supports the
+    configuration, else the packed-key
+    :class:`~repro.sim.fastpath.FastPD2Simulator`, else the reference
+    :class:`QuantumSimulator`.  Each tier has an independent toggle
+    (:mod:`repro.util.toggles`): ``vector=False`` / ``--no-vector`` /
+    ``REPRO_NO_VECTOR=1`` skips the vector kernel, ``fastpath=False`` /
+    ``--no-fastpath`` / ``REPRO_NO_FASTPATH=1`` forces the reference
+    (it disables the vector tier too — both accelerated kernels are
+    "the fast path" from the caller's point of view).  Passing
+    ``vector=True`` or ``fastpath=True`` *requires* that tier and raises
+    if the configuration is unsupported.
     """
     task_list = list(tasks)
     if fastpath is None:
@@ -50,6 +56,25 @@ def simulate_pfair(
         explicit = False
     else:
         explicit = fastpath
+    if vector is None:
+        from ..util.toggles import vector_enabled
+
+        vector = fastpath and vector_enabled()
+        explicit_vector = False
+    else:
+        explicit_vector = vector
+    if vector:
+        from .vector import VectorPD2Simulator
+        from .vector import supports as vector_supports
+
+        if vector_supports(task_list, processors, horizon, policy, kwargs):
+            return VectorPD2Simulator(task_list, processors, policy,
+                                      **kwargs).run(horizon)
+        if explicit_vector:
+            raise ValueError(
+                "vector=True but the configuration is not supported by "
+                "the vector kernel (see repro.sim.vector.supports)"
+            )
     if fastpath:
         from .fastpath import FastPD2Simulator, supports
 

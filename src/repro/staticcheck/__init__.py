@@ -11,7 +11,9 @@ AST alone — stdlib ``ast`` only, no third-party dependencies.
 Rules (see :mod:`repro.staticcheck.rules` and docs/STATIC_ANALYSIS.md):
 
 * **R001 exactness** — no float literals, ``float()`` calls, or true
-  division in decision paths (``core/`` and ``sim/fastpath.py``).
+  division in decision paths (``core/`` and ``sim/fastpath.py``); numpy
+  in the vectorized kernel (``sim/vector.py``) is gated to integer
+  dtypes.
 * **R002 determinism** — no seedless RNGs, wall-clock reads, or
   environment reads outside ``util/toggles.py`` in ``core/`` + ``sim/``.
 * **R003 layering** — the import DAG ``util → core → workload →

@@ -106,19 +106,42 @@ class ExactnessRule(Rule):
     change a priority comparison — the class of bug the differential
     suite can only catch by luck.  Metric/export conversions that
     genuinely need floats carry a line pragma with a justification.
+
+    The vectorized kernel (``sim/vector.py``) gets the same base checks
+    *plus* numpy dtype gating: every array it builds must carry an
+    integer (or bool) dtype.  A single ``np.float64`` column — or one
+    ``np.true_divide`` — silently rounds the packed 62-bit priority keys
+    above 2**53 and reorders ties, so float dtypes and numpy's
+    true-division entry points are flagged outright.
     """
 
     rule_id = "R001"
     name = "exactness"
     description = ("no float literals, float() calls, or true division "
-                   "in decision paths (core/, sim/fastpath.py)")
+                   "in decision paths (core/, sim/fastpath.py); numpy in "
+                   "sim/vector.py restricted to integer dtypes")
 
     SCOPE_PACKAGES = ("core",)
     SCOPE_FILES = ("sim/fastpath.py",)
+    #: Vectorized decision kernels: base checks apply *and* numpy usage
+    #: is gated to integer/bool dtypes (int64 keys survive exactly;
+    #: float64 mantissas do not).
+    NUMPY_KERNEL_FILES = ("sim/vector.py",)
+
+    #: ``np.<attr>`` spellings of inexact dtypes.
+    FLOAT_DTYPE_ATTRS = frozenset({
+        "float16", "float32", "float64", "float128", "half", "single",
+        "double", "longdouble", "floating", "complex64", "complex128",
+        "csingle", "cdouble", "complexfloating"})
+    #: numpy callables that perform true division whatever the inputs.
+    TRUE_DIVISION_FUNCS = frozenset({"divide", "true_divide"})
+    #: dtype spellings as plain names / dtype-string prefixes.
+    FLOAT_DTYPE_NAMES = ("float", "complex")
 
     def _in_scope(self, module: ModuleInfo) -> bool:
         return (module.package in self.SCOPE_PACKAGES
-                or module.relpath in self.SCOPE_FILES)
+                or module.relpath in self.SCOPE_FILES
+                or module.relpath in self.NUMPY_KERNEL_FILES)
 
     def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
         if not self._in_scope(module):
@@ -140,6 +163,53 @@ class ExactnessRule(Rule):
                     module, node,
                     "true division (/) in a decision path — use //, "
                     "Weight, or Fraction")
+        if module.relpath in self.NUMPY_KERNEL_FILES:
+            yield from self._check_numpy_kernel(module)
+
+    def _is_float_dtype_expr(self, node: ast.AST,
+                             numpy_aliases: Set[str]) -> bool:
+        """Does ``node`` spell an inexact dtype (``float``, ``'float32'``,
+        ``np.float64``, …)?  ``np.<attr>`` forms are excluded here — the
+        attribute walk in :meth:`_check_numpy_kernel` already flags them
+        wherever they appear, so flagging them again inside ``dtype=``
+        would double-report one line."""
+        if isinstance(node, ast.Name):
+            return node.id in self.FLOAT_DTYPE_NAMES
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value.lstrip("<>=|").startswith(
+                self.FLOAT_DTYPE_NAMES + ("f2", "f4", "f8", "c8", "c16"))
+        return False
+
+    def _check_numpy_kernel(self, module: ModuleInfo) -> Iterator[Violation]:
+        numpy_aliases = _import_aliases(module.tree, "numpy")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id in numpy_aliases:
+                if node.attr in self.FLOAT_DTYPE_ATTRS:
+                    yield self._violation(
+                        module, node,
+                        f"float dtype {node.value.id}.{node.attr} in a "
+                        "vectorized decision kernel — integer dtypes only")
+                elif node.attr in self.TRUE_DIVISION_FUNCS:
+                    yield self._violation(
+                        module, node,
+                        f"{node.value.id}.{node.attr}() is true division "
+                        "— use // or floor_divide")
+            elif isinstance(node, ast.keyword) and node.arg == "dtype" and \
+                    self._is_float_dtype_expr(node.value, numpy_aliases):
+                yield self._violation(
+                    module, node.value,
+                    "float dtype= in a vectorized decision kernel — "
+                    "integer dtypes only")
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "astype" and node.args and \
+                    self._is_float_dtype_expr(node.args[0], numpy_aliases):
+                yield self._violation(
+                    module, node,
+                    "astype() to a float dtype in a vectorized decision "
+                    "kernel — integer dtypes only")
 
 
 # ---------------------------------------------------------------------------
@@ -152,7 +222,10 @@ class DeterminismRule(Rule):
     ``core/`` and ``sim/`` results are memoised across runs (hyperperiod
     cache, analysis cache) and replayed in differential tests, so any
     global-state RNG, wall-clock read, or environment read there breaks
-    reproducibility.  ``campaign/`` is in scope because its checkpoints
+    reproducibility.  That includes the accelerated kernels
+    (``sim/fastpath.py``, ``sim/vector.py``): their cycle deltas are
+    shared through one cache keyed only on task parameters, so a hidden
+    environment read in either kernel would poison replays in the other.  ``campaign/`` is in scope because its checkpoints
     promise byte-identical resume: shard planning and seeding must stay
     clock-free (only the runner's dispatch loop may read clocks, for
     backoff/timeouts/metrics — see :data:`CLOCK_EXEMPT_FILES`).

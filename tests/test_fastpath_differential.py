@@ -1,12 +1,15 @@
-"""Differential testing: the packed-key fast path vs. the reference.
+"""Differential testing: the accelerated kernels vs. the reference.
 
-:class:`FastPD2Simulator` claims slot-for-slot identical decisions to
-:class:`QuantumSimulator` under PD².  This suite runs hundreds of
-randomized periodic task systems through both and asserts identical
-``(slot, processor, task, subtask)`` allocations and identical
-:class:`SimStats` — the empirical half of the fast path's correctness
-argument (the analytical half is the packed-key order property in
-``test_core_keytab.py``).
+:class:`FastPD2Simulator` and :class:`VectorPD2Simulator` claim
+slot-for-slot identical decisions to :class:`QuantumSimulator` under
+PD².  This suite runs hundreds of randomized periodic task systems —
+including early-release, nonzero-phase, and overloaded (miss-recording)
+systems — through all three and asserts identical ``(slot, processor,
+task, subtask)`` allocations and identical :class:`SimStats`, including
+the canonical (priority-key) order of end-of-run unscheduled misses —
+the empirical half of the kernels' correctness argument (the analytical
+half is the packed-key order property in ``test_core_keytab.py`` and
+the key-order placement argument in ``sim/vector.py``).
 """
 
 import random
@@ -18,6 +21,8 @@ from repro.core.priority import PD2Priority
 from repro.core.task import PeriodicTask
 from repro.sim.fastpath import FastPD2Simulator, supports
 from repro.sim.quantum import QuantumSimulator, simulate_pfair
+from repro.sim.vector import VectorPD2Simulator
+from repro.sim.vector import supports as vector_supports
 
 N_RANDOM_SETS = 220
 
@@ -51,8 +56,10 @@ def _build(weights, phases, er):
 
 def _snapshot(result):
     """Everything observable about a run, in comparable form."""
-    allocs = [(a[0], a[1], a[2].task_id, a[3])
-              for a in result.trace.allocations()]
+    allocs = None
+    if result.trace is not None:
+        allocs = [(a[0], a[1], a[2].task_id, a[3])
+                  for a in result.trace.allocations()]
     stats = result.stats
     per_task = {
         tid: (ts.quanta, ts.preemptions, ts.migrations,
@@ -61,14 +68,14 @@ def _snapshot(result):
     }
     ran = [(m.task.task_id, m.subtask_index, m.deadline, m.completed_at)
            for m in stats.misses if m.completed_at is not None]
-    never_ran = sorted(
+    never_ran = [
         (m.task.task_id, m.subtask_index, m.deadline)
-        for m in stats.misses if m.completed_at is None)
+        for m in stats.misses if m.completed_at is None]
     return {
         "allocations": allocs,
         "per_task": per_task,
         "misses_ran": ran,          # order-exact (recorded during the run)
-        "misses_never_ran": never_ran,  # final sweep: same set, any order
+        "misses_never_ran": never_ran,  # order-exact (canonical key order)
         "idle": stats.idle_quanta,
         "busy": stats.busy_quanta,
         "slots": stats.slots,
@@ -91,15 +98,32 @@ def _run_both(weights, phases, processors, horizon, er, **kwargs):
     return _snapshot(ref), _snapshot(fast)
 
 
+def _run_three(weights, phases, processors, horizon, er, **kwargs):
+    """Reference, fastpath, and vector snapshots for one system."""
+    ref, fast = _run_both(weights, phases, processors, horizon, er, **kwargs)
+    vec_tasks, _ = _build(weights, phases, er)
+    gate = dict(kwargs, trace=True)
+    assert vector_supports(vec_tasks, processors, horizon, PD2Priority(),
+                           gate)
+    vec = VectorPD2Simulator(vec_tasks, processors, PD2Priority(),
+                             early_release=er, trace=True, **kwargs
+                             ).run(horizon)
+    return ref, fast, _snapshot(vec)
+
+
 class TestDifferential:
     def test_many_random_feasible_systems(self):
         rng = random.Random(20030422)  # the paper's conference year+
+        saw_er = saw_phase = 0
         for trial in range(N_RANDOM_SETS):
             weights, phases, m, horizon, er = _random_system(rng)
-            ref, fast = _run_both(weights, phases, m, horizon, er)
-            assert ref == fast, (
+            ref, fast, vec = _run_three(weights, phases, m, horizon, er)
+            assert ref == fast == vec, (
                 f"trial {trial}: divergence on {weights} phases={phases} "
                 f"M={m} H={horizon} er={er}")
+            saw_er += er
+            saw_phase += any(phases)
+        assert saw_er > 0 and saw_phase > 0  # the sample covers both axes
 
     def test_overloaded_systems_record_same_misses(self):
         rng = random.Random(77)
@@ -107,10 +131,19 @@ class TestDifferential:
         for trial in range(60):
             weights, phases, m, horizon, er = _random_system(
                 rng, overload_ok=True)
-            ref, fast = _run_both(weights, phases, m, horizon, er)
-            assert ref == fast, f"trial {trial}"
+            ref, fast, vec = _run_three(weights, phases, m, horizon, er)
+            assert ref == fast == vec, f"trial {trial}"
             seen_misses += bool(ref["misses_ran"] or ref["misses_never_ran"])
         assert seen_misses > 0  # the sample actually exercised overloads
+
+    def test_no_affinity_leg_matches(self):
+        rng = random.Random(424242)
+        for trial in range(40):
+            weights, phases, m, horizon, er = _random_system(
+                rng, overload_ok=(trial % 2 == 0))
+            ref, fast, vec = _run_three(weights, phases, m, horizon, er,
+                                        preserve_affinity=False)
+            assert ref == fast == vec, f"trial {trial}"
 
     def test_memoised_and_unmemoised_agree(self):
         rng = random.Random(5)
@@ -124,6 +157,37 @@ class TestDifferential:
                                  hyperperiod_memo=False).run(horizon)
             assert _snapshot(a) == _snapshot(b)
 
+    def test_vector_memoised_and_unmemoised_agree(self):
+        rng = random.Random(6)
+        for _ in range(25):
+            weights, phases, m, horizon, er = _random_system(rng)
+            tasks_a, _ = _build(weights, phases, er)
+            tasks_b, _ = _build(weights, phases, er)
+            a = VectorPD2Simulator(tasks_a, m, early_release=er,
+                                   hyperperiod_memo=True).run(horizon)
+            b = VectorPD2Simulator(tasks_b, m, early_release=er,
+                                   hyperperiod_memo=False).run(horizon)
+            assert _snapshot(a) == _snapshot(b)
+
+    def test_hyperperiod_cache_shared_across_kernels(self):
+        # The memo protocol is kernel-agnostic: cycle deltas stored by
+        # the fastpath must replay bit-for-bit inside the vector kernel
+        # and vice versa.
+        from repro.sim.cache import HYPERPERIOD_CACHE
+
+        weights = [(1, 3), (2, 5), (1, 4)]
+        horizon = 3600  # 60 hyperperiods of lcm(3,5,4)=60
+        for first, second in ((FastPD2Simulator, VectorPD2Simulator),
+                              (VectorPD2Simulator, FastPD2Simulator)):
+            HYPERPERIOD_CACHE.clear()
+            tasks_a, _ = _build(weights, [0, 0, 0], False)
+            tasks_b, _ = _build(weights, [0, 0, 0], False)
+            a = first(tasks_a, 2, hyperperiod_memo=True).run(horizon)
+            assert len(HYPERPERIOD_CACHE) > 0
+            b = second(tasks_b, 2, hyperperiod_memo=True).run(horizon)
+            assert _snapshot(a) == _snapshot(b)
+        HYPERPERIOD_CACHE.clear()
+
     def test_long_horizon_with_memoisation(self):
         # Many hyperperiods: the memoised tiling must match the reference
         # exactly, including idle accounting from the idle-slot skipper.
@@ -134,13 +198,15 @@ class TestDifferential:
         assert ref == fast
 
     def test_dispatch_equivalence(self):
-        # simulate_pfair(fastpath=True/False) are the public faces of the
-        # two simulators; spot-check the dispatcher wiring end to end.
+        # simulate_pfair(fastpath=..., vector=...) are the public faces
+        # of the three simulators; spot-check the dispatcher end to end.
         mk = lambda: [PeriodicTask(e, p, task_id=i)
                       for i, (e, p) in enumerate([(1, 2), (3, 7), (2, 5)])]
         ref = simulate_pfair(mk(), 2, 140, trace=True, fastpath=False)
-        fast = simulate_pfair(mk(), 2, 140, trace=True, fastpath=True)
-        assert _snapshot(ref) == _snapshot(fast)
+        fast = simulate_pfair(mk(), 2, 140, trace=True, fastpath=True,
+                              vector=False)
+        vec = simulate_pfair(mk(), 2, 140, trace=True, vector=True)
+        assert _snapshot(ref) == _snapshot(fast) == _snapshot(vec)
 
     def test_on_miss_raise_matches(self):
         from repro.sim.quantum import DeadlineMissError
@@ -152,8 +218,32 @@ class TestDifferential:
             QuantumSimulator(mk(), 1, on_miss="raise").run(40)
         with pytest.raises(DeadlineMissError) as fast_err:
             FastPD2Simulator(mk(), 1, on_miss="raise").run(40)
+        with pytest.raises(DeadlineMissError) as vec_err:
+            VectorPD2Simulator(mk(), 1, on_miss="raise").run(40)
         rm, fm = ref_err.value.miss, fast_err.value.miss
+        vm = vec_err.value.miss
         assert (rm.task.task_id, rm.subtask_index, rm.deadline,
                 rm.completed_at) == \
                (fm.task.task_id, fm.subtask_index, fm.deadline,
-                fm.completed_at)
+                fm.completed_at) == \
+               (vm.task.task_id, vm.subtask_index, vm.deadline,
+                vm.completed_at)
+
+    def test_finalize_miss_order_is_canonical(self):
+        # End-of-run unscheduled misses come out in priority-key order
+        # from all three simulators (the canonical finalize order).
+        mk = lambda: [PeriodicTask(1, 2, task_id=i) for i in range(4)]
+        snaps = [
+            _snapshot(QuantumSimulator(mk(), 1, trace=True).run(9)),
+            _snapshot(FastPD2Simulator(mk(), 1, trace=True).run(9)),
+            _snapshot(VectorPD2Simulator(mk(), 1, trace=True).run(9)),
+        ]
+        never = snaps[0]["misses_never_ran"]
+        assert never  # weight 2.0 on one processor leaves a backlog
+        pol = PD2Priority()
+        tasks = mk()
+        by_task = {t.task_id: t for t in tasks}
+        keys = [pol.key(by_task[tid].subtask(idx))
+                for tid, idx, _ in never]
+        assert keys == sorted(keys)
+        assert snaps[0] == snaps[1] == snaps[2]

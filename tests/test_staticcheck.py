@@ -78,6 +78,50 @@ class TestExactness:
         )})
         assert run_checks(root, select=["R001"]).ok
 
+    def test_vector_kernel_numpy_is_gated_to_integer_dtypes(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/vector.py": (
+            "import numpy as np\n"
+            "A = np.zeros(4, dtype=np.float64)\n"   # line 2: float dtype
+            "B = np.arange(8).astype('float32')\n"  # line 3: astype to float
+            "C = np.true_divide(A, 2)\n"            # line 4: true division fn
+            "D = np.empty(2, dtype=float)\n"        # line 5: builtin float
+            "def f(x, y):\n"
+            "    return x / y\n"                    # line 7: base check
+        )})
+        result = run_checks(root, select=["R001"])
+        assert anchors(result, "R001") == [
+            ("sim/vector.py", 2), ("sim/vector.py", 3),
+            ("sim/vector.py", 4), ("sim/vector.py", 5),
+            ("sim/vector.py", 7)]
+        messages = [v.message for v in hits(result, "R001")]
+        assert "np.float64" in messages[0]
+        assert "astype()" in messages[1]
+        assert "true division" in messages[2]
+        assert "dtype=" in messages[3]
+
+    def test_vector_kernel_integer_dtypes_are_clean(self, tmp_path):
+        # The shapes the real kernel uses: int64 columns, an int32 sort
+        # key, bool masks, floor division.  None may trip the gate.
+        root = make_tree(tmp_path, {"sim/vector.py": (
+            "import numpy as np\n"
+            "A = np.zeros(4, dtype=np.int64)\n"
+            "B = np.arange(8).astype(np.int32)\n"
+            "M = np.empty(3, dtype=bool)\n"
+            "C = np.full(3, -1, dtype='int64')\n"
+            "def f(x, y):\n"
+            "    return x // y\n"
+        )})
+        assert run_checks(root, select=["R001"]).ok
+
+    def test_numpy_gate_is_kernel_only(self, tmp_path):
+        # Float dtypes are fine outside the kernel scope — analysis and
+        # export code does real arithmetic on metrics.
+        root = make_tree(tmp_path, {"analysis/metrics.py": (
+            "import numpy as np\n"
+            "A = np.zeros(4, dtype=np.float64)\n"
+        )})
+        assert run_checks(root, select=["R001"]).ok
+
 
 # ---------------------------------------------------------------------------
 # R002 — determinism
@@ -186,6 +230,18 @@ class TestDeterminism:
         result = run_checks(root, select=["R002"])
         assert anchors(result, "R002") == [("campaign/runner.py", 5)]
 
+    def test_vector_kernel_is_in_determinism_scope(self, tmp_path):
+        # The vector kernel shares the hyperperiod cache with the
+        # fastpath: a clock or environment read there poisons replays in
+        # *both* kernels, so sim/vector.py sits squarely in R002 scope.
+        root = make_tree(tmp_path, {"sim/vector.py": (
+            "import time\n"
+            "def chunk_deadline():\n"
+            "    return time.monotonic()\n"        # line 3: wall clock
+        )})
+        result = run_checks(root, select=["R002"])
+        assert anchors(result, "R002") == [("sim/vector.py", 3)]
+
     def test_clock_exemption_is_per_file_not_per_package(self, tmp_path):
         root = make_tree(tmp_path, {"campaign/checkpoint.py": (
             "import time\n"
@@ -244,6 +300,16 @@ class TestLayering:
         assert len(cycle) == 1
         assert "overheads" in cycle[0].message
         assert "partition" in cycle[0].message
+
+    def test_vector_kernel_is_in_the_layer_map(self, tmp_path):
+        # sim/vector.py lives at the sim layer: core/workload imports are
+        # fine, an analysis import is the upward reach R003 forbids.
+        root = make_tree(tmp_path, {"sim/vector.py": (
+            "from ..core.task import PfairTask\n"
+            "from repro.analysis import tardiness\n"   # line 2: upward
+        )})
+        result = run_checks(root, select=["R003"])
+        assert anchors(result, "R003") == [("sim/vector.py", 2)]
 
     def test_campaign_sits_between_analysis_and_service(self, tmp_path):
         # campaign (layer 7) may import analysis (6); service (8) may
