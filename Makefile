@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test stress bench figures full-figures examples clean \
-	staticcheck lint typecheck check
+	staticcheck staticcheck-dataflow lint typecheck check
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +22,13 @@ stress:
 # Domain invariant checker (stdlib-only; always available).
 staticcheck:
 	PYTHONPATH=src $(PYTHON) -m repro.staticcheck src/repro
+
+# Just the abstract-interpretation rules, baseline-free — mirrors the
+# CI hard gate (R010 packed-key overflow proof, R011 numpy dtype
+# soundness, R012 wire conformance; docs/STATIC_ANALYSIS.md).
+staticcheck-dataflow:
+	PYTHONPATH=src $(PYTHON) -m repro.staticcheck src/repro \
+		--select R010,R011,R012
 
 # ruff/mypy are optional in the dev container; the targets no-op with a
 # notice when the tool is missing so `make check` works everywhere.

@@ -109,6 +109,8 @@ def pack_key(deadline: int, b_bit: int, group_deadline: int,
     real subtask parameter combinations (where ``group_deadline`` is
     either 0 or ``>= deadline``) within the field bounds.
     """
+    if not 0 <= b_bit <= 1:
+        raise OverflowError(f"b bit {b_bit} outside [0, 1]")
     if group_deadline:
         delta = group_deadline - deadline
         if not 0 <= delta <= _MAX_GD_DELTA:

@@ -40,6 +40,26 @@ the concurrency model written down in docs/CONCURRENCY.md:
 * **R009 fork-safety** — nothing transitively holding a lock, socket,
   or event loop crosses a process boundary.
 
+Three more are *dataflow* rules, built on an integer interval domain
+(:mod:`repro.staticcheck.intervals`), an abstract interpreter over
+function bodies (:mod:`repro.staticcheck.dataflow`), and a numpy dtype
+lattice (:mod:`repro.staticcheck.nptypes`):
+
+* **R010 packed-key-proof** — interval analysis *proves* every
+  or-packed key field in ``core/keytab.py`` fits its bit width from
+  the guards alone, that the workload generator's ``max_period``
+  defaults stay within every field capacity, and that the vector
+  kernel's narrow-key layout fits ``MAX_KEY_BITS`` for all systems
+  ``supports()`` admits (subsumes R004, which delegates to it).
+* **R011 numpy-dtype-soundness** — no silent dtype promotion in the
+  integer kernels (``sim/vector.py``, ``sim/fastpath.py``): implicit
+  float64 defaults, ``uint64``/signed mixing, true division, mixed
+  integer widths inside sort keys.
+* **R012 wire-conformance** — every registered wire verb has a
+  handler, every emitted verb is registered, every emitted field is
+  read by a peer, and persisted payloads are format-tag-checked where
+  their keys are read.
+
 Call-graph resolution is unsound in the direction of silence: dynamic
 dispatch degrades to an ``unknown`` target, so these rules miss dynamic
 code but never invent findings.

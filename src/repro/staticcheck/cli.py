@@ -29,8 +29,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.staticcheck",
         description="AST-based invariant checker: exactness, determinism, "
-                    "layering, key-width safety, hygiene, and the "
-                    "interprocedural concurrency rules (R006-R009).",
+                    "layering, key-width safety, hygiene, the "
+                    "interprocedural concurrency rules (R006-R009), and "
+                    "the dataflow rules (R010 packed-key overflow proof, "
+                    "R011 numpy dtype soundness, R012 wire conformance).",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path, default=None,
@@ -51,6 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ignore", metavar="RULES",
         help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--no-project", action="store_true",
+        help="skip whole-project (ProjectIndex) rules — faster, but "
+             "R006-R010/R012 are skipped and R004 falls back to its "
+             "cheap keyword-default check")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")
@@ -121,7 +128,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     everything: List[Violation] = []
     last_result: Optional[CheckResult] = None
     for path in paths:
-        result = Checker(path, select=select, ignore=ignore).check()
+        result = Checker(path, select=select, ignore=ignore,
+                         use_project=not args.no_project).check()
         last_result = result
         files_checked += result.files_checked
         suppressed += result.suppressed

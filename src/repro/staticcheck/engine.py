@@ -20,9 +20,12 @@ from .violations import Violation
 __all__ = ["ModuleInfo", "CheckResult", "Checker", "run_checks"]
 
 #: Line pragma: suppress the named rules on this physical line.
-_PRAGMA_RE = re.compile(r"#\s*staticcheck:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+#: ``ignore[...]`` is an accepted alias for ``allow[...]``.
+_PRAGMA_RE = re.compile(
+    r"#\s*staticcheck:\s*(?:allow|ignore)\[([A-Za-z0-9_,\s]+)\]")
 #: File pragma: suppress the named rules everywhere in this file.
-_FILE_PRAGMA_RE = re.compile(r"#\s*staticcheck:\s*allow-file\[([A-Za-z0-9_,\s]+)\]")
+_FILE_PRAGMA_RE = re.compile(
+    r"#\s*staticcheck:\s*(?:allow|ignore)-file\[([A-Za-z0-9_,\s]+)\]")
 
 #: Rule id for files the engine itself cannot parse.
 PARSE_ERROR = "E000"
@@ -128,7 +131,8 @@ class Checker:
 
     def __init__(self, root: Path, rules: Optional[Sequence[object]] = None,
                  select: Optional[Iterable[str]] = None,
-                 ignore: Optional[Iterable[str]] = None) -> None:
+                 ignore: Optional[Iterable[str]] = None,
+                 use_project: bool = True) -> None:
         from .rules import RULES
 
         root = Path(root).resolve()
@@ -146,7 +150,18 @@ class Checker:
         if ignore is not None:
             dropped = set(ignore)
             chosen = [r for r in chosen if r.rule_id not in dropped]
+        #: With ``use_project=False`` (``--no-project``) the expensive
+        #: ProjectIndex is never built and project rules are skipped;
+        #: rules with a ``configure`` hook (R004) learn about it so
+        #: cheap fallbacks can re-engage.
+        self.use_project = use_project
         self.rules = chosen
+        active_ids = {r.rule_id for r in chosen}
+        for rule in chosen:
+            configure = getattr(rule, "configure", None)
+            if configure is not None:
+                configure(active_ids=active_ids,
+                          project_enabled=use_project)
 
     def check(self) -> CheckResult:
         modules: List[ModuleInfo] = []
@@ -165,7 +180,8 @@ class Checker:
             raw.extend(rule.finalize(modules))
 
         project_rules = [r for r in self.rules
-                         if getattr(r, "uses_project", False)]
+                         if getattr(r, "uses_project", False)] \
+            if self.use_project else []
         if project_rules:
             # Deferred import: callgraph imports ModuleInfo from here.
             from .callgraph import ProjectIndex

@@ -1,0 +1,408 @@
+"""Integer interval lattice for the dataflow rules (R010).
+
+The packed-key proofs in :mod:`repro.staticcheck.dataflow` need one
+abstract domain: *which integers can this expression take?*  An
+:class:`Interval` is a pair of optional bounds (``None`` = unbounded on
+that side) with the arithmetic and bitwise transfer functions the
+key-packing code actually uses — shifts, ors, masks, ``bit_length`` —
+plus lattice operations (:meth:`join`, :meth:`meet`, :meth:`widen`) and
+guard refinement (:func:`refine_by_compare`) so ``if not 0 <= x <= C:
+raise`` narrows ``x`` on the fall-through path.
+
+Design rules, shared with the rest of the checker:
+
+* **stdlib only** — intervals are plain Python ints, never numpy
+  scalars, so ``python -m repro.staticcheck`` stays importable before
+  ``pip install``;
+* **unsound toward silence** — every transfer function may widen to
+  :data:`TOP` but must never narrow incorrectly; a rule that cannot
+  *prove* a bound reports "cannot prove", it never guesses one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "Interval",
+    "TOP",
+    "BOTTOM",
+    "const",
+    "bounded",
+    "refine_by_compare",
+]
+
+#: Transfer functions refuse to materialise integers beyond this many
+#: bits (shift amounts from TOP, pow with huge exponents, …) — the
+#: analysis answers "how many bits" questions, so modelling numbers far
+#: beyond any field width adds nothing and risks pathological memory use.
+_MAX_MODEL_BITS = 512
+
+
+class Interval:
+    """A closed integer interval ``[lo, hi]``; ``None`` means unbounded.
+
+    The empty interval (:data:`BOTTOM`) is the unique instance with
+    ``lo == 0, hi == -1``; use :meth:`is_empty` rather than comparing
+    bounds directly.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Optional[int] = None,
+                 hi: Optional[int] = None) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    # -- predicates ---------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return self.lo is not None and self.hi is not None \
+            and self.lo > self.hi
+
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    def is_const(self) -> Optional[int]:
+        """The single value when the interval is a point, else ``None``."""
+        if self.lo is not None and self.lo == self.hi:
+            return self.lo
+        return None
+
+    def within(self, lo: int, hi: int) -> bool:
+        """Provably ``lo <= x <= hi`` for every x in the interval?"""
+        if self.is_empty():
+            return True  # vacuously: no value escapes
+        return (self.lo is not None and self.hi is not None
+                and lo <= self.lo and self.hi <= hi)
+
+    def nonneg(self) -> bool:
+        return self.is_empty() or (self.lo is not None and self.lo >= 0)
+
+    # -- lattice ------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        lo = None if self.lo is None or other.lo is None \
+            else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None \
+            else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        lo = other.lo if self.lo is None else \
+            (self.lo if other.lo is None else max(self.lo, other.lo))
+        hi = other.hi if self.hi is None else \
+            (self.hi if other.hi is None else min(self.hi, other.hi))
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Classic interval widening: a bound that moved since the last
+        fixpoint iteration jumps straight to unbounded, so loops
+        terminate in two passes instead of walking every integer."""
+        if self.is_empty():
+            return newer
+        if newer.is_empty():
+            return self
+        lo = self.lo if (self.lo is not None and newer.lo is not None
+                         and newer.lo >= self.lo) else None
+        hi = self.hi if (self.hi is not None and newer.hi is not None
+                         and newer.hi <= self.hi) else None
+        return Interval(lo, hi)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self.is_empty() and other.is_empty():
+            return True
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "Interval(empty)"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"Interval[{lo}, {hi}]"
+
+    def describe(self) -> str:
+        """Human form for witness chains: ``[0, 1099511627772]``."""
+        if self.is_empty():
+            return "(empty)"
+        if self.is_top():
+            return "(unbounded)"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+    # -- arithmetic transfer functions --------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        lo = None if self.lo is None or other.lo is None \
+            else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None \
+            else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def neg(self) -> "Interval":
+        if self.is_empty():
+            return BOTTOM
+        return Interval(None if self.hi is None else -self.hi,
+                        None if self.lo is None else -self.lo)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.neg())
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        if None in (self.lo, self.hi, other.lo, other.hi):
+            # Mixed-sign unbounded products need case analysis that the
+            # key-packing code never exercises; nonnegative-by-
+            # nonnegative is the one shape worth keeping precise.
+            if self.nonneg() and other.nonneg():
+                lo = 0 if self.lo is None or other.lo is None \
+                    else self.lo * other.lo
+                return Interval(lo, None)
+            return TOP
+        products = (self.lo * other.lo, self.lo * other.hi,
+                    self.hi * other.lo, self.hi * other.hi)
+        return Interval(min(products), max(products))
+
+    def floordiv(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        # Only constant positive divisors stay precise; anything else
+        # (zero in range, unbounded divisor) widens.
+        d = other.is_const()
+        if d is None or d <= 0:
+            return TOP
+        lo = None if self.lo is None else self.lo // d
+        hi = None if self.hi is None else self.hi // d
+        return Interval(lo, hi)
+
+    def mod(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        d = other.is_const()
+        if d is None or d <= 0:
+            return TOP
+        if self.nonneg() and self.hi is not None and self.hi < d:
+            return self  # the mod is the identity on [0, d)
+        return Interval(0, d - 1)
+
+    def lshift(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        if not other.nonneg() or other.hi is None \
+                or other.hi > _MAX_MODEL_BITS:
+            return TOP
+        shift_lo = other.lo if other.lo is not None else 0
+        if self.nonneg():
+            lo = 0 if self.lo is None else self.lo << shift_lo
+            hi = None if self.hi is None else self.hi << other.hi
+            return Interval(lo, hi)
+        if self.lo is None or self.hi is None:
+            return TOP
+        candidates = (self.lo << shift_lo, self.lo << other.hi,
+                      self.hi << shift_lo, self.hi << other.hi)
+        return Interval(min(candidates), max(candidates))
+
+    def rshift(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        if not (self.nonneg() and other.nonneg()) or other.lo is None:
+            return TOP
+        lo = 0 if self.lo is None else self.lo >> (
+            other.hi if other.hi is not None else _MAX_MODEL_BITS)
+        hi = None if self.hi is None else self.hi >> other.lo
+        return Interval(lo, hi)
+
+    def bitor(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        if not (self.nonneg() and other.nonneg()):
+            return TOP
+        if self.hi is None or other.hi is None:
+            return Interval(0, None)
+        # x | y never clears a set bit, and never sets a bit above the
+        # wider operand's top bit: max(x,y) <= x|y < 2**max(bits).
+        # (nonneg + non-empty already guarantee the lower bounds exist.)
+        lo = max(self.lo or 0, other.lo or 0)
+        hi = (1 << max(self.hi.bit_length(), other.hi.bit_length())) - 1
+        return Interval(lo, max(hi, max(self.hi, other.hi)))
+
+    def bitand(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        if self.nonneg() and self.hi is not None:
+            if other.nonneg() and other.hi is not None:
+                return Interval(0, min(self.hi, other.hi))
+            return Interval(0, self.hi)
+        if other.nonneg() and other.hi is not None:
+            return Interval(0, other.hi)
+        return TOP
+
+    def bitxor(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        if not (self.nonneg() and other.nonneg()) \
+                or self.hi is None or other.hi is None:
+            return TOP
+        hi = (1 << max(self.hi.bit_length(), other.hi.bit_length())) - 1
+        return Interval(0, hi)
+
+    def pow(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return BOTTOM
+        b, e = self.is_const(), other.is_const()
+        if b is None or e is None or e < 0 or b < 0:
+            return TOP
+        if b.bit_length() * max(e, 1) > _MAX_MODEL_BITS:
+            return TOP
+        return const(b ** e)
+
+    def bit_length(self) -> "Interval":
+        """Transfer function for ``int.bit_length()`` — monotone on
+        nonnegative inputs."""
+        if self.is_empty():
+            return BOTTOM
+        if not self.nonneg():
+            return Interval(0, None)
+        assert self.lo is not None
+        lo = self.lo.bit_length()
+        hi = None if self.hi is None else self.hi.bit_length()
+        return Interval(lo, hi)
+
+
+#: Every integer.
+TOP = Interval(None, None)
+#: No integer (unreachable / contradictory guards).
+BOTTOM = Interval(0, -1)
+
+
+def const(value: int) -> Interval:
+    """The point interval ``[value, value]``."""
+    return Interval(value, value)
+
+
+def bounded(lo: int, hi: int) -> Interval:
+    """The interval ``[lo, hi]`` (both bounds inclusive)."""
+    return Interval(lo, hi)
+
+
+#: ast.BinOp operator -> Interval method name.
+_BINOPS = {
+    ast.Add: Interval.add,
+    ast.Sub: Interval.sub,
+    ast.Mult: Interval.mul,
+    ast.FloorDiv: Interval.floordiv,
+    ast.Mod: Interval.mod,
+    ast.LShift: Interval.lshift,
+    ast.RShift: Interval.rshift,
+    ast.BitOr: Interval.bitor,
+    ast.BitAnd: Interval.bitand,
+    ast.BitXor: Interval.bitxor,
+    ast.Pow: Interval.pow,
+}
+
+
+def apply_binop(op: ast.operator, left: Interval,
+                right: Interval) -> Interval:
+    """Interval result of ``left <op> right``; TOP for unmodelled ops
+    (notably true division, which the exactness rule forbids anyway)."""
+    fn = _BINOPS.get(type(op))
+    if fn is None:
+        return TOP
+    return fn(left, right)
+
+
+# -- guard refinement -------------------------------------------------
+
+
+def _half_space(op: ast.cmpop, bound: Interval,
+                flipped: bool) -> Optional[Interval]:
+    """The interval of ``x`` satisfying ``x <op> bound`` (or
+    ``bound <op> x`` when ``flipped``); ``None`` when the comparison
+    does not constrain ``x`` usefully."""
+    if flipped:
+        flip: Dict[type, type] = {ast.Lt: ast.Gt, ast.Gt: ast.Lt,
+                                  ast.LtE: ast.GtE, ast.GtE: ast.LtE,
+                                  ast.Eq: ast.Eq, ast.NotEq: ast.NotEq}
+        new = flip.get(type(op))
+        if new is None:
+            return None
+        op = new()
+    if isinstance(op, ast.Lt):
+        return None if bound.hi is None else Interval(None, bound.hi - 1)
+    if isinstance(op, ast.LtE):
+        return None if bound.hi is None else Interval(None, bound.hi)
+    if isinstance(op, ast.Gt):
+        return None if bound.lo is None else Interval(bound.lo + 1, None)
+    if isinstance(op, ast.GtE):
+        return None if bound.lo is None else Interval(bound.lo, None)
+    if isinstance(op, ast.Eq):
+        return bound
+    return None  # NotEq / is / in: no contiguous refinement
+
+
+def negate_cmpop(op: ast.cmpop) -> Optional[ast.cmpop]:
+    """The complement comparison (``not (x < c)`` is ``x >= c``)."""
+    table: Dict[type, ast.cmpop] = {
+        ast.Lt: ast.GtE(), ast.LtE: ast.Gt(),
+        ast.Gt: ast.LtE(), ast.GtE: ast.Lt(),
+        ast.Eq: ast.NotEq(), ast.NotEq: ast.Eq(),
+    }
+    return table.get(type(op))
+
+
+def refine_by_compare(test: ast.Compare, env_eval, *,
+                      negated: bool = False
+                      ) -> Dict[str, Tuple[Interval, int]]:
+    """Variable refinements implied by ``test`` holding (or failing,
+    when ``negated``).
+
+    Handles chained comparisons (``0 <= x <= C``) by refining each bare
+    ``ast.Name`` operand against its neighbours' intervals, which
+    ``env_eval(node)`` supplies.  A negated *chain* only refines when the
+    chain has a single link (``not (a <= x <= b)`` is a disjunction and
+    refines nothing); a negated single comparison flips the operator.
+    Returns ``{name: (refined-interval, lineno)}``.
+    """
+    ops = list(test.ops)
+    operands = [test.left] + list(test.comparators)
+    if negated:
+        if len(ops) != 1:
+            return {}
+        flipped_op = negate_cmpop(ops[0])
+        if flipped_op is None:
+            return {}
+        ops = [flipped_op]
+    out: Dict[str, Tuple[Interval, int]] = {}
+    for i, op in enumerate(ops):
+        left, right = operands[i], operands[i + 1]
+        for node, other, is_rhs in ((left, right, False),
+                                    (right, left, True)):
+            if not isinstance(node, ast.Name):
+                continue
+            bound = env_eval(other)
+            half = _half_space(op, bound, flipped=is_rhs)
+            if half is None:
+                continue
+            current = env_eval(node)
+            refined = current.meet(half)
+            prev = out.get(node.id)
+            if prev is not None:
+                refined = prev[0].meet(refined)
+            out[node.id] = (refined, getattr(test, "lineno", 1))
+    return out

@@ -621,13 +621,26 @@ class KeyWidthRule(Rule):
     rule_id = "R004"
     name = "key-width-safety"
     description = ("core/keytab.py bit-field capacities must cover the "
-                   "max period the workload generator emits")
+                   "max period the workload generator emits "
+                   "(delegates to R010's dataflow proof when available)")
 
     KEYTAB = "core/keytab.py"
     GENERATOR = "workload/generator.py"
     DISTRIBUTIONS = "workload/distributions.py"
 
+    def __init__(self) -> None:
+        #: When the R010 dataflow proof runs in the same pass, this
+        #: keyword-default string-match is strictly weaker — R004 stands
+        #: down and stays the cheap fallback under ``--no-project``.
+        self._delegated = False
+
+    def configure(self, *, active_ids: Set[str],
+                  project_enabled: bool) -> None:
+        self._delegated = project_enabled and "R010" in active_ids
+
     def finalize(self, modules: Sequence[ModuleInfo]) -> Iterator[Violation]:
+        if self._delegated:
+            return
         by_path = {m.relpath: m for m in modules}
         keytab = by_path.get(self.KEYTAB)
         generator = by_path.get(self.GENERATOR)
@@ -757,9 +770,11 @@ class HygieneRule(Rule):
                 and test.comparators[0].value is None)
 
 
-#: The concurrency rules live in their own module; the import sits at the
-#: bottom because concurrency.py subclasses Rule (defined above).
+#: The concurrency and dataflow rules live in their own modules; the
+#: imports sit at the bottom because both subclass Rule (defined above).
 from .concurrency import CONCURRENCY_RULES  # noqa: E402
+from .dataflow import PackedKeyProofRule, WireConformanceRule  # noqa: E402
+from .nptypes import NumpyDtypeRule  # noqa: E402
 
 #: The default rule set, in id order.
 RULES: Tuple[Rule, ...] = (
@@ -768,4 +783,8 @@ RULES: Tuple[Rule, ...] = (
     LayeringRule(),
     KeyWidthRule(),
     HygieneRule(),
-) + CONCURRENCY_RULES
+) + CONCURRENCY_RULES + (
+    PackedKeyProofRule(),
+    NumpyDtypeRule(),
+    WireConformanceRule(),
+)
