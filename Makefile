@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test stress bench figures full-figures examples clean \
-	staticcheck staticcheck-dataflow lint typecheck check
+	staticcheck staticcheck-dataflow staticcheck-provenance lint \
+	typecheck check
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +30,13 @@ staticcheck:
 staticcheck-dataflow:
 	PYTHONPATH=src $(PYTHON) -m repro.staticcheck src/repro \
 		--select R010,R011,R012
+
+# The determinism-provenance layer, baseline-free — mirrors the CI hard
+# gate (R013 seed provenance, R014 ordering soundness, R015 canonical
+# serialization; docs/DETERMINISM.md).
+staticcheck-provenance:
+	PYTHONPATH=src $(PYTHON) -m repro.staticcheck src/repro \
+		--select R013,R014,R015
 
 # ruff/mypy are optional in the dev container; the targets no-op with a
 # notice when the tool is missing so `make check` works everywhere.

@@ -85,7 +85,8 @@ def save_campaign(path: Union[str, Path], rows: Sequence[CampaignRow], *,
             for r in rows
         ],
     }
-    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2,
+                                       sort_keys=True) + "\n")
 
 
 def load_campaign(path: Union[str, Path]) -> List[CampaignRow]:

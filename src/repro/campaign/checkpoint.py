@@ -115,8 +115,17 @@ class CheckpointStore:
             "created": created,
             "note": note,
         }
+        # Canonical bytes: sort_keys so the on-disk form is a function
+        # of the *content*, not of dict insertion order surviving
+        # refactors.  Format compatibility: json.loads never cared
+        # about key order, so v1 readers accept the sorted form and
+        # pre-sort files remain loadable — only byte-compares of files
+        # written by different code versions are affected, and those
+        # were never promised.  (Same note covers write_shard and
+        # write_status below.)
         atomic_write_text(manifest_path,
-                          json.dumps(manifest, indent=2) + "\n")
+                          json.dumps(manifest, indent=2,
+                                     sort_keys=True) + "\n")
 
     def load_manifest(self) -> Dict[str, Any]:
         """The manifest dict; raises :class:`RunDirError` when absent or
@@ -185,7 +194,8 @@ class CheckpointStore:
             payload["worker"] = worker
         payload["points"] = [point_to_dict(p) for p in points]
         atomic_write_text(self._shard_path(spec.shard_id),
-                          json.dumps(payload) + "\n")
+                          json.dumps(payload, sort_keys=True,
+                                     separators=(",", ":")) + "\n")
 
     def read_shard_meta(self, shard_id: str) -> Dict[str, Any]:
         """A shard checkpoint's provenance fields (``attempts``,
@@ -220,7 +230,8 @@ class CheckpointStore:
         """Rewrite the live progress snapshot (see
         :meth:`repro.campaign.progress.ProgressTracker.snapshot`)."""
         atomic_write_text(self.run_dir / self.STATUS,
-                          json.dumps(status, indent=2) + "\n")
+                          json.dumps(status, indent=2,
+                                     sort_keys=True) + "\n")
 
     def read_status(self) -> Optional[Dict[str, Any]]:
         """The last status snapshot, or ``None`` before the first write."""

@@ -50,7 +50,8 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, \
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence,
                     Set, Tuple)
 
 from ..analysis.schedulability import SchedulabilityPoint
@@ -122,6 +123,20 @@ def _backoff(config: RunnerConfig, failures: int) -> float:
     return config.backoff_seconds * (2 ** max(failures - 1, 0))
 
 
+def _completion_order(done_futs: Iterable[Any],
+                      pending: Mapping[Any, _Attempt]) -> List[Any]:
+    """A canonical (sorted-by-key) view of one poll batch.
+
+    ``concurrent.futures.wait`` hands back a *set* of futures —
+    completion order, then hash order — and the completion callbacks
+    are caller-visible (row emission, retry accounting), so the batch
+    is ordered by task key before anything observes it.  Stale futures
+    no longer in ``pending`` sort first; the loop discards them anyway.
+    """
+    return sorted(done_futs,
+                  key=lambda f: pending[f].key if f in pending else "")
+
+
 def _dispatch_serial(order: List[str], jobs: Mapping[str, Any],
                      worker: Callable[[Any], Any], config: RunnerConfig,
                      on_success: Callable[[str, Any, int, float], None],
@@ -163,11 +178,13 @@ def dispatch_jobs(jobs: Mapping[str, Any],
 
     ``jobs`` maps a stable key to a picklable payload; ``worker`` must be
     a module-level callable (the pool pickles it).  ``on_success(key,
-    result, attempts, elapsed)`` fires exactly once per finished job, in
-    completion order.  ``on_retry(key, reason)`` fires on every
-    requeue with reason ``"error"``, ``"timeout"``, or
-    ``"worker-death"``.  ``on_tick`` fires at least every
-    ``status_interval_seconds`` while work is outstanding.
+    result, attempts, elapsed)`` fires exactly once per finished job;
+    within one poll batch, finished jobs are reported in sorted-key
+    order (the batch's membership still depends on completion timing).
+    ``on_retry(key, reason)`` fires on every requeue with reason
+    ``"error"``, ``"timeout"``, or ``"worker-death"``.  ``on_tick``
+    fires at least every ``status_interval_seconds`` while work is
+    outstanding.
 
     Jobs are submitted in sorted-key order, but nothing downstream may
     depend on completion order — the campaign assembler orders by shard
@@ -265,7 +282,7 @@ def dispatch_jobs(jobs: Mapping[str, Any],
 
             now = time.monotonic()
             died = False
-            for fut in done_futs:
+            for fut in _completion_order(done_futs, pending):
                 att = pending.pop(fut, None)
                 if att is None or att.key in finished or att.key in failed:
                     continue  # stale attempt abandoned by a timeout

@@ -411,14 +411,20 @@ class Coordinator:
                             on_retry(sid, "worker-lost", None)
                     break
                 try:
-                    event = self._results.get(
+                    # Arrival order is thread-scheduling order, and
+                    # _handle is accept-first: the first completion for
+                    # a shard wins and duplicates are discarded, so any
+                    # arrival order yields the same checkpoint set (the
+                    # run dir is keyed by shard id, not event order).
+                    event = self._results.get(  # staticcheck: allow[R014]
                         timeout=cfg.poll_interval_seconds)
                 except queue.Empty:
                     event = None
                 while event is not None:
                     self._handle(event, attempts, on_success, on_retry)
                     try:
-                        event = self._results.get_nowait()
+                        # Same accept-first argument as above.
+                        event = self._results.get_nowait()  # staticcheck: allow[R014]
                     except queue.Empty:
                         event = None
 

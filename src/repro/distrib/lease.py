@@ -210,7 +210,10 @@ class LeaseTable:
         silent node is indistinguishable from a dead one, and the shard
         itself did nothing wrong)."""
         taken: List[Tuple[str, str]] = []
-        for shard_id, lease in list(self._leases.items()):
+        # ``_leases`` insertion order is grant order — which slot thread
+        # asked first — so scan in sorted shard-id order to keep the
+        # re-pend queue and the returned pairs deterministic.
+        for shard_id, lease in sorted(self._leases.items()):
             if lease.expired(now):
                 self._history[shard_id][lease.epoch]["outcome"] = "expired"
                 del self._leases[shard_id]
@@ -222,7 +225,9 @@ class LeaseTable:
         """A node's connection died: take back all its leases
         (unbudgeted), returning the re-pended shard ids."""
         dropped: List[str] = []
-        for shard_id, lease in list(self._leases.items()):
+        # Sorted for the same reason as expire(): grant order is
+        # thread-scheduling order and must not leak into the queue.
+        for shard_id, lease in sorted(self._leases.items()):
             if lease.worker == worker:
                 self._history[shard_id][lease.epoch]["outcome"] = "lost"
                 del self._leases[shard_id]

@@ -72,8 +72,15 @@ class ProtocolError(Exception):
 
 
 def encode(obj: Dict[str, Any]) -> bytes:
-    """Serialise one message to its wire form (JSON + newline)."""
-    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+    """Serialise one message to its wire form (JSON + newline).
+
+    Canonical on purpose (sorted keys, pinned separators): the distrib
+    layer byte-compares and checkpoints what crosses this wire, so two
+    encoders building the same message from different insertion orders
+    must frame identical bytes.
+    """
+    return json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
 
 
 def decode_line(line: bytes) -> Dict[str, Any]:

@@ -60,6 +60,29 @@ lattice (:mod:`repro.staticcheck.nptypes`):
   read by a peer, and persisted payloads are format-tag-checked where
   their keys are read.
 
+The last three form the *determinism-provenance* layer
+(:mod:`repro.staticcheck.provenance`, :mod:`repro.staticcheck.ordering`),
+a taint analysis over the same call graph plus an iteration-order
+classifier (see docs/DETERMINISM.md):
+
+* **R013 seed-provenance** — every RNG constructed in ``core/``,
+  ``sim/``, ``campaign/``, ``workload/`` is seeded from campaign-seed
+  arithmetic; witnessed ambient entropy (no-arg constructions,
+  ``time``/``os.urandom``/``uuid``/``id()``/``hash()``-derived seeds)
+  is flagged with the full origin → sink chain.
+* **R014 ordering-soundness** — unordered iteration order (sets,
+  ``listdir``/``glob``, completion order, thread-fed queues,
+  thread-mutated dict attributes) must not reach appended rows,
+  accumulated floats, yields, writes, or callbacks; ``sorted(...)`` at
+  the point of use launders.
+* **R015 canonical-serialization** — ``json.dumps``/``dump`` whose
+  bytes are persisted, hashed, or framed on the wire must pass
+  ``sort_keys=True`` and pin ``separators=`` or ``indent=``.
+
+Each project rule *declares* the analysis passes it needs
+(:mod:`repro.staticcheck.passes`), so ``--select R013`` builds the
+seed-taint pass and nothing else.
+
 Call-graph resolution is unsound in the direction of silence: dynamic
 dispatch degrades to an ``unknown`` target, so these rules miss dynamic
 code but never invent findings.

@@ -30,9 +30,12 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.staticcheck",
         description="AST-based invariant checker: exactness, determinism, "
                     "layering, key-width safety, hygiene, the "
-                    "interprocedural concurrency rules (R006-R009), and "
-                    "the dataflow rules (R010 packed-key overflow proof, "
-                    "R011 numpy dtype soundness, R012 wire conformance).",
+                    "interprocedural concurrency rules (R006-R009), the "
+                    "dataflow rules (R010 packed-key overflow proof, "
+                    "R011 numpy dtype soundness, R012 wire conformance), "
+                    "and the provenance rules (R013 seed provenance, "
+                    "R014 ordering soundness, R015 canonical "
+                    "serialization).",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path, default=None,
@@ -56,8 +59,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-project", action="store_true",
         help="skip whole-project (ProjectIndex) rules — faster, but "
-             "R006-R010/R012 are skipped and R004 falls back to its "
-             "cheap keyword-default check")
+             "R006-R010/R012-R014 are skipped and R004 falls back to "
+             "its cheap keyword-default check")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")

@@ -156,6 +156,9 @@ class Checker:
         #: cheap fallbacks can re-engage.
         self.use_project = use_project
         self.rules = chosen
+        #: The ProjectIndex of the last ``check()`` run, if one was
+        #: built (``None`` otherwise) — introspection for tests.
+        self.project = None
         active_ids = {r.rule_id for r in chosen}
         for rule in chosen:
             configure = getattr(rule, "configure", None)
@@ -185,8 +188,20 @@ class Checker:
         if project_rules:
             # Deferred import: callgraph imports ModuleInfo from here.
             from .callgraph import ProjectIndex
+            from .passes import project_pass
 
             project = ProjectIndex(modules)
+            #: Kept for introspection: the pass-isolation tests assert
+            #: via ``passes.built_passes`` that a ``--select`` run built
+            #: only the passes the selected rules declared.
+            self.project = project
+            # Build exactly the union of the selected rules' declared
+            # passes up front — rules then hit the memoised copies, and
+            # a rule whose declaration is missing fails loudly in its
+            # own check_project rather than silently building extra.
+            for rule in project_rules:
+                for need in getattr(rule, "needs", ()):
+                    project_pass(project, need)
             for rule in project_rules:
                 raw.extend(rule.check_project(project))
 

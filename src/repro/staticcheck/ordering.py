@@ -1,0 +1,653 @@
+"""Iteration-order soundness: the R014 classifier and rule.
+
+Byte-identical checkpoints, wire frames, and campaign rows all assume
+that whenever the runtime *iterates*, the order either does not matter
+(``done.add(x)``) or is deterministic (a list, ``sorted(...)``, a dict
+filled on one thread).  Three order sources break that silently:
+
+* **hash order** — ``set`` / ``frozenset`` iteration, which
+  ``PYTHONHASHSEED`` reshuffles between processes;
+* **filesystem / completion order** — ``os.listdir``, ``glob``,
+  ``Path.iterdir``, ``concurrent.futures.as_completed`` and the
+  done-set of ``concurrent.futures.wait``;
+* **thread-scheduling order** — a ``queue.Queue`` drained across
+  producer threads, or a dict/set attribute that worker threads insert
+  into (grant order = whichever slot thread asked first).
+
+The classifier here assigns every iterated expression one of those
+origins (or *deterministic* / *unknown* — unknown stays silent, per the
+project-wide "unsound toward silence" contract), then checks what the
+iteration feeds.  Order-insensitive consumption — ``.add`` to a set,
+dict stores keyed by the loop variable, integer counters, ``len`` /
+``min`` / ``max`` / ``any`` / ``all`` — passes.  Order-*sensitive*
+consumption — appending to an ordered sequence, float/str accumulation,
+``yield``, writes/emits, invoking a caller-supplied callback — is
+flagged with a witness chain from the order origin to the sink, unless
+the iterable is laundered through ``sorted(...)`` at the point of use.
+
+Name classification is deliberately *monotone and flow-insensitive*: a
+name once bound to an unordered value counts as unordered everywhere in
+the function, so the result is a fixpoint independent of statement
+order (``tests/test_staticcheck_provenance.py`` pins that with a
+hypothesis statement-reordering test).  Laundering is therefore spelled
+at the point of use (``for x in sorted(s)``), which is also where the
+canonical order becomes part of the code's contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Callable, Dict, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+from .callgraph import FunctionInfo, ProjectIndex, _iter_own_statements
+from .domains import THREAD, DomainAnalysis
+from .passes import project_pass, register_pass
+from .rules import Rule
+from .violations import Violation
+
+if TYPE_CHECKING:
+    from .engine import ModuleInfo
+
+__all__ = ["OrderOrigin", "OrderFinding", "OrderingAnalysis",
+           "OrderingSoundnessRule", "classify_source_bindings",
+           "module_resolver"]
+
+
+@dataclass(frozen=True)
+class OrderOrigin:
+    """Why (and where) an expression's iteration order is unordered."""
+
+    reason: str
+    line: int
+
+
+@dataclass(frozen=True)
+class OrderFinding:
+    """One unordered-order-reaches-ordered-sink witness, pre-Violation."""
+
+    path: str          # module relpath of the anchor
+    line: int          # anchor line (the order origin)
+    package: str       # module package, for rule scoping
+    message: str
+
+
+#: External callables whose result iterates in an unordered order.
+_UNORDERED_CALLS: Dict[str, str] = {
+    "os.listdir": "os.listdir returns entries in filesystem order",
+    "os.scandir": "os.scandir returns entries in filesystem order",
+    "glob.glob": "glob.glob returns matches in filesystem order",
+    "glob.iglob": "glob.iglob yields matches in filesystem order",
+    "concurrent.futures.as_completed":
+        "as_completed yields futures in completion order",
+    "concurrent.futures.wait":
+        "concurrent.futures.wait returns done/not-done *sets* "
+        "(completion order, then hash order)",
+}
+
+#: Path-object methods with filesystem-ordered results.  Matching is by
+#: attribute name: nothing in this tree defines a method of these names
+#: with a deterministic order, and an unresolved receiver would
+#: otherwise hide ``Path.glob`` behind the silence rule.
+_UNORDERED_PATH_METHODS = {
+    "iterdir": "Path.iterdir yields entries in filesystem order",
+    "glob": "Path.glob yields matches in filesystem order",
+    "rglob": "Path.rglob yields matches in filesystem order",
+}
+
+#: Set methods that keep (or produce) hash-ordered iteration.
+_SET_OP_METHODS = ("union", "intersection", "difference",
+                   "symmetric_difference", "copy")
+
+#: Calls that consume an iterable order-insensitively (or impose a
+#: deterministic order): their results are safe whatever went in.
+_LAUNDER_CALLS = {"sorted", "builtins.sorted", "min", "builtins.min",
+                  "max", "builtins.max", "sum", "builtins.sum",
+                  "len", "builtins.len", "any", "builtins.any",
+                  "all", "builtins.all"}
+
+#: Calls that preserve the order of their (first) argument.
+_ORDER_PRESERVING_CALLS = {"list", "builtins.list", "tuple",
+                           "builtins.tuple", "iter", "builtins.iter",
+                           "reversed", "builtins.reversed",
+                           "enumerate", "builtins.enumerate"}
+
+#: Constructors that make a hash-ordered collection outright.
+_SET_CONSTRUCTORS = {"set", "builtins.set", "frozenset",
+                     "builtins.frozenset"}
+
+#: Thread-fed queue classes whose ``get`` order is thread-scheduling
+#: order.  ``PriorityQueue`` is excluded (its order is the key order)
+#: and ``asyncio.Queue`` too: one event loop is a single consumer fed
+#: in loop order, which the service's per-connection pipelining relies
+#: on being deterministic.
+_SCHEDULING_QUEUES = {"queue.Queue", "queue.SimpleQueue",
+                      "queue.LifoQueue", "multiprocessing.Queue"}
+
+#: Method names that insert into a dict/set/list attribute — the writes
+#: whose thread domain decides whether iteration order is scheduling-
+#: dependent.
+_INSERT_METHODS = {"add", "append", "appendleft", "setdefault", "update",
+                   "extend", "insert"}
+
+#: Attribute calls inside a loop body that make iteration order
+#: observable downstream.
+_SEQUENCE_SINK_METHODS = {
+    "append": "appends to an ordered sequence",
+    "extend": "extends an ordered sequence",
+    "appendleft": "prepends to an ordered sequence",
+    "insert": "inserts into an ordered sequence",
+}
+_EMIT_SINK_METHODS = {
+    "write": "writes bytes in iteration order",
+    "writelines": "writes lines in iteration order",
+    "sendall": "sends wire bytes in iteration order",
+    "send": "sends wire bytes in iteration order",
+    "put": "enqueues in iteration order",
+    "put_nowait": "enqueues in iteration order",
+}
+
+#: Annotation heads that mean "this returns a hash-ordered collection".
+_SET_ANNOTATIONS = {"Set", "FrozenSet", "AbstractSet", "MutableSet",
+                    "set", "frozenset"}
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` spelled by a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_resolver(tree: ast.Module) -> Callable[[ast.expr], Optional[str]]:
+    """A syntactic callee resolver from one module's import table.
+
+    Resolves ``wait(...)`` to ``concurrent.futures.wait`` when the name
+    was bound by ``from concurrent.futures import wait`` — enough for
+    fixtures and for the standalone classifier; the project rule uses
+    the full :class:`~repro.staticcheck.callgraph.ProjectIndex` instead.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[(alias.asname or alias.name.split(".")[0])] = \
+                    alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and not node.level \
+                and node.module:
+            for alias in node.names:
+                if alias.name != "*":
+                    imports[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+
+    def resolve(func: ast.expr) -> Optional[str]:
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in imports:
+            base = imports[head]
+            return f"{base}.{rest}" if rest else base
+        return dotted
+
+    return resolve
+
+
+def _annotation_head(ann: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(ann, ast.Subscript):
+        ann = ann.value
+    if isinstance(ann, ast.Name):
+        return ann.id
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    return None
+
+
+class _Classifier:
+    """Expression → :class:`OrderOrigin` (or ``None`` = not proven
+    unordered) under one function's monotone name environment."""
+
+    def __init__(self, resolve: Callable[[ast.expr], Optional[str]],
+                 returns_unordered: Optional[
+                     Callable[[ast.Call], Optional[str]]] = None) -> None:
+        self.resolve = resolve
+        #: Hook: a call whose *project-resolved* callee returns a Set
+        #: (by annotation) — supplies the callee name, else None.
+        self.returns_unordered = returns_unordered
+        self.env: Dict[str, OrderOrigin] = {}
+
+    # -- expression classification -------------------------------------------
+
+    def origin_of(self, node: ast.expr) -> Optional[OrderOrigin]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            kind = "literal" if isinstance(node, ast.Set) else "comprehension"
+            return OrderOrigin(
+                f"set {kind} (hash-ordered iteration)", node.lineno)
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Starred):
+            return self.origin_of(node.value)
+        if isinstance(node, ast.IfExp):
+            return self.origin_of(node.body) or self.origin_of(node.orelse)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                found = self.origin_of(value)
+                if found is not None:
+                    return found
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return self.origin_of(node.left) or self.origin_of(node.right)
+        if isinstance(node, ast.Call):
+            return self._origin_of_call(node)
+        return None
+
+    def _origin_of_call(self, node: ast.Call) -> Optional[OrderOrigin]:
+        name = self.resolve(node.func)
+        if name in _LAUNDER_CALLS:
+            return None  # sorted() et al. launder whatever went in
+        if name in _UNORDERED_CALLS:
+            return OrderOrigin(_UNORDERED_CALLS[name], node.lineno)
+        if name in _SET_CONSTRUCTORS:
+            return OrderOrigin("set() construction (hash-ordered iteration)",
+                               node.lineno)
+        if name in _ORDER_PRESERVING_CALLS:
+            return self.origin_of(node.args[0]) if node.args else None
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in _SET_OP_METHODS:
+                found = self.origin_of(node.func.value)
+                if found is not None:
+                    return found
+            if attr in _UNORDERED_PATH_METHODS and (
+                    name is None or not name.startswith("glob.")):
+                return OrderOrigin(_UNORDERED_PATH_METHODS[attr], node.lineno)
+        if self.returns_unordered is not None:
+            callee = self.returns_unordered(node)
+            if callee is not None:
+                return OrderOrigin(
+                    f"{callee}() returns a Set (hash-ordered iteration)",
+                    node.lineno)
+        return None
+
+    # -- name environment (monotone fixpoint) --------------------------------
+
+    def bind_statements(self, stmts: Sequence[ast.AST]) -> None:
+        """Accumulate unordered name bindings to a fixpoint.  Origins are
+        only ever *added*, so the result is independent of statement
+        order and the loop terminates."""
+        changed = True
+        while changed:
+            changed = False
+            for stmt in stmts:
+                for name, origin in self._bindings_of(stmt):
+                    if name not in self.env:
+                        self.env[name] = origin
+                        changed = True
+
+    def _bindings_of(self, stmt: ast.AST
+                     ) -> Iterator[Tuple[str, OrderOrigin]]:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            origin = self.origin_of(stmt.value)
+            if origin is None:
+                return
+            if isinstance(target, ast.Name):
+                yield target.id, origin
+            elif isinstance(target, ast.Tuple):
+                # e.g. ``done, not_done = wait(...)`` — both halves of
+                # an unordered pair are unordered.
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        yield elt.id, origin
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+                and isinstance(stmt.target, ast.Name):
+            origin = self.origin_of(stmt.value)
+            if origin is not None:
+                yield stmt.target.id, origin
+        elif isinstance(stmt, ast.AugAssign) and \
+                isinstance(stmt.target, ast.Name):
+            origin = self.origin_of(stmt.value)
+            if origin is not None:
+                yield stmt.target.id, origin
+
+
+def classify_source_bindings(source: str, func: str) -> Dict[str, str]:
+    """Standalone classifier probe: the unordered-name environment of
+    one function in ``source``, as ``{name: reason}``.
+
+    Used by the hypothesis statement-reordering test: because binding
+    accumulation is a monotone fixpoint, permuting a function's
+    assignment statements must never change the result.
+    """
+    tree = ast.parse(source)
+    classifier = _Classifier(module_resolver(tree))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == func:
+            classifier.bind_statements(list(_iter_own_statements(node)))
+            return {name: origin.reason
+                    for name, origin in sorted(classifier.env.items())}
+    raise ValueError(f"no function named {func!r} in source")
+
+
+# ---------------------------------------------------------------------------
+# Sink analysis
+
+
+def _accumulator_inits(stmts: Sequence[ast.AST]) -> Set[str]:
+    """Names initialised to a float/str literal or an ordered sequence —
+    the accumulators whose ``+=`` inside an unordered loop makes
+    iteration order observable (float addition is not associative; str
+    and list concatenation are order-preserving)."""
+    out: Set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            value = stmt.value
+            if isinstance(value, ast.Constant) and \
+                    isinstance(value.value, (float, str)):
+                out.add(stmt.targets[0].id)
+            elif isinstance(value, (ast.List, ast.ListComp)):
+                out.add(stmt.targets[0].id)
+    return out
+
+
+def _first_sensitive_op(body: Sequence[ast.stmt], params: Set[str],
+                        accumulators: Set[str]
+                        ) -> Optional[Tuple[str, int]]:
+    """The first order-*sensitive* operation in a loop body, as
+    ``(description, line)`` — or ``None`` when every consumption is
+    order-insensitive (set adds, dict stores, counters, membership)."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yields in iteration order", node.lineno
+            if isinstance(node, ast.AugAssign) and \
+                    isinstance(node.op, ast.Add) and \
+                    isinstance(node.target, ast.Name) and \
+                    node.target.id in accumulators:
+                return (f"accumulates into {node.target.id!r} "
+                        "(order-sensitive +=)", node.lineno)
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in params:
+                    return (f"invokes caller-visible callback "
+                            f"{func.id}() in iteration order", node.lineno)
+                if func.id == "print":
+                    return "prints in iteration order", node.lineno
+            elif isinstance(func, ast.Attribute):
+                if func.attr in _SEQUENCE_SINK_METHODS:
+                    return _SEQUENCE_SINK_METHODS[func.attr], node.lineno
+                if func.attr in _EMIT_SINK_METHODS:
+                    return _EMIT_SINK_METHODS[func.attr], node.lineno
+    return None
+
+
+def _unwrap_iter(node: ast.expr) -> ast.expr:
+    """Strip order-preserving wrappers (``list(...)``, ``enumerate``)
+    off a loop's iterable so attribute sources underneath are visible."""
+    while isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("list", "tuple", "enumerate", "reversed") \
+            and node.args:
+        node = node.args[0]
+    return node
+
+
+def _self_attr_source(node: ast.expr) -> Optional[Tuple[str, int]]:
+    """``self.X`` / ``self.X.items()`` under a loop iterable, as
+    ``(attr, line)`` — the shape the thread-domain check applies to."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in ("items", "values", "keys") \
+            and not node.args:
+        node = node.func.value
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr, node.lineno
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The project-wide analysis pass
+
+
+class OrderingAnalysis:
+    """Every unordered-order → ordered-sink witness in the project.
+
+    Registered as the ``"ordering"`` pass; the R014 rule filters the
+    findings to its package scope.  Construction also builds the
+    ``"domains"`` pass (thread-scheduling order needs to know which
+    methods run on worker threads).
+    """
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        self.domains = DomainAnalysis.of(project)
+        self.findings: List[OrderFinding] = []
+        self._analyse()
+
+    # -- helpers --------------------------------------------------------------
+
+    def _resolver(self, fn: FunctionInfo
+                  ) -> Callable[[ast.expr], Optional[str]]:
+        fallback = module_resolver(fn.module.tree)
+
+        def resolve(func: ast.expr) -> Optional[str]:
+            sym = self.project.resolve_value(fn, func)
+            if sym.kind == "external":
+                return sym.ref  # type: ignore[return-value]
+            if sym.kind == "func":
+                return sym.ref.qname  # type: ignore[union-attr]
+            return fallback(func)
+
+        return resolve
+
+    def _returns_unordered(self, fn: FunctionInfo
+                           ) -> Callable[[ast.Call], Optional[str]]:
+        def probe(call: ast.Call) -> Optional[str]:
+            sym = self.project.resolve_value(fn, call.func)
+            if sym.kind != "func":
+                return None
+            callee: FunctionInfo = sym.ref  # type: ignore[assignment]
+            returns = getattr(callee.node, "returns", None)
+            if _annotation_head(returns) in _SET_ANNOTATIONS:
+                return callee.name
+            return None
+
+        return probe
+
+    def _thread_insertion_origin(self, fn: FunctionInfo, attr: str,
+                                 line: int) -> Optional[OrderOrigin]:
+        """Is ``self.<attr>`` inserted into by a method that runs on a
+        worker thread?  Then its iteration order is thread-scheduling
+        order (grant order = whichever thread asked first)."""
+        if fn.cls is None:
+            return None
+        for name in sorted(fn.cls.methods):
+            method = fn.cls.methods[name]
+            if not self._inserts_into(method, attr):
+                continue
+            if THREAD in self.domains.domains_of(method):
+                why = self.domains.why(method, THREAD)
+                return OrderOrigin(
+                    f"self.{attr} is inserted into by {method.qname} on a "
+                    f"worker thread [{why}], so its iteration order is "
+                    "thread-scheduling order", line)
+        return None
+
+    @staticmethod
+    def _inserts_into(method: FunctionInfo, attr: str) -> bool:
+        if isinstance(method.node, ast.Module):
+            return False
+        for node in _iter_own_statements(method.node):
+            target: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Subscript):
+                target = node.targets[0].value
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _INSERT_METHODS:
+                target = node.func.value
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self" and target.attr == attr:
+                return True
+        return False
+
+    # -- the walk -------------------------------------------------------------
+
+    def _analyse(self) -> None:
+        for fn in self.project.all_functions():
+            if isinstance(fn.node, ast.Module):
+                stmts: List[ast.AST] = list(_iter_own_statements(fn.node))
+            else:
+                stmts = list(_iter_own_statements(fn.node))
+            classifier = _Classifier(self._resolver(fn),
+                                     self._returns_unordered(fn))
+            classifier.bind_statements(stmts)
+            params = self._param_names(fn)
+            accumulators = _accumulator_inits(stmts)
+            for stmt in stmts:
+                if isinstance(stmt, ast.For):
+                    self._check_loop(fn, stmt, classifier, params,
+                                     accumulators)
+            self._check_queue_drains(fn, stmts)
+
+    @staticmethod
+    def _param_names(fn: FunctionInfo) -> Set[str]:
+        node = fn.node
+        if isinstance(node, ast.Module):
+            return set()
+        args = node.args
+        return {a.arg for a in (args.posonlyargs + args.args +
+                                args.kwonlyargs)}
+
+    def _check_loop(self, fn: FunctionInfo, loop: ast.For,
+                    classifier: _Classifier, params: Set[str],
+                    accumulators: Set[str]) -> None:
+        iter_expr = loop.iter
+        origin = classifier.origin_of(iter_expr)
+        if origin is None:
+            source = _self_attr_source(_unwrap_iter(iter_expr))
+            if source is not None:
+                origin = self._thread_insertion_origin(
+                    fn, source[0], source[1])
+        if origin is None:
+            return
+        sink = _first_sensitive_op(loop.body, params, accumulators)
+        if sink is None:
+            return
+        sink_desc, sink_line = sink
+        self.findings.append(OrderFinding(
+            path=fn.module.relpath,
+            line=origin.line,
+            package=fn.module.package,
+            message=(f"unordered iteration order escapes in {fn.qname}: "
+                     f"{origin.reason} (line {origin.line}) -> iterated at "
+                     f"line {loop.lineno} -> {sink_desc} at line "
+                     f"{sink_line}; sort at the point of use "
+                     f"(sorted(...)) or consume order-insensitively")))
+
+    def _check_queue_drains(self, fn: FunctionInfo,
+                            stmts: Sequence[ast.AST]) -> None:
+        """``x = q.get()`` on a thread-fed queue, with ``x`` then handed
+        to a call: arrival order is thread-scheduling order."""
+        for stmt in stmts:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Attribute)
+                    and stmt.value.func.attr in ("get", "get_nowait")):
+                continue
+            recv = self.project.resolve_value(fn, stmt.value.func.value)
+            if recv.kind != "instance_external" or \
+                    recv.ref not in _SCHEDULING_QUEUES:
+                continue
+            # Each get-site is its own origin (its own pragma anchor).
+            self._queue_drain_finding(fn, stmt, str(recv.ref), stmts)
+
+    def _queue_drain_finding(self, fn: FunctionInfo, stmt: ast.Assign,
+                             queue_cls: str,
+                             stmts: Sequence[ast.AST]) -> None:
+        name = stmt.targets[0].id  # type: ignore[union-attr]
+        get_line = stmt.value.lineno
+        for other in stmts:
+            for node in ast.walk(other):
+                if not isinstance(node, ast.Call):
+                    continue
+                if node.lineno == get_line:
+                    continue  # the get itself
+                for arg in list(node.args) + \
+                        [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id == name:
+                        callee = _dotted(node.func) or "<call>"
+                        self.findings.append(OrderFinding(
+                            path=fn.module.relpath,
+                            line=get_line,
+                            package=fn.module.package,
+                            message=(
+                                f"thread-completion queue drained in "
+                                f"{fn.qname}: {queue_cls}.get at line "
+                                f"{get_line} yields events in thread-"
+                                f"scheduling order -> {name!r} passed to "
+                                f"{callee}() at line {node.lineno} -> "
+                                "downstream effects observe arrival "
+                                "order; prove the consumer order-"
+                                "insensitive and pragma at the get, or "
+                                "reorder deterministically")))
+                        return
+
+
+register_pass("domains", DomainAnalysis.of)
+register_pass("ordering", OrderingAnalysis)
+
+
+# ---------------------------------------------------------------------------
+# The rule
+
+
+class OrderingSoundnessRule(Rule):
+    """R014: no unordered iteration order may become observable.
+
+    Project rule over the :class:`OrderingAnalysis` pass (which itself
+    needs thread domains).  Violations anchor at the order *origin* —
+    the set construction, the ``wait``/``as_completed`` call, the
+    ``queue.get`` — so a pragma documents the soundness argument where
+    the order is born, not at whichever sink happened to trip first.
+    """
+
+    rule_id = "R014"
+    name = "ordering-soundness"
+    description = ("unordered iteration order (sets, listdir/glob, "
+                   "completion order, thread-fed queues, thread-mutated "
+                   "dict attributes) must not reach appended rows, "
+                   "accumulated floats, yields, writes, or callbacks; "
+                   "launder with sorted(...) at the point of use")
+    uses_project = True
+    needs = ("ordering", "domains")
+
+    #: Everything that persists, serves, or aggregates.  The staticcheck
+    #: package itself is out of scope (a linter's finding order is
+    #: sorted at the engine level, not per-loop).
+    SCOPE_PACKAGES = ("core", "sim", "campaign", "workload", "distrib",
+                      "service", "analysis")
+
+    def check_project(self, project: "ProjectIndex"
+                      ) -> Iterator[Violation]:
+        analysis: OrderingAnalysis = project_pass(  # type: ignore[assignment]
+            project, "ordering")
+        for finding in analysis.findings:
+            if finding.package not in self.SCOPE_PACKAGES:
+                continue
+            yield Violation(path=finding.path, line=finding.line, col=0,
+                            rule_id=self.rule_id, message=finding.message)

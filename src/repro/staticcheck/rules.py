@@ -46,6 +46,12 @@ class Rule:
     #: builds the (expensive) ProjectIndex only when a selected rule
     #: actually needs it.
     uses_project = False
+    #: Named project passes (see :mod:`~repro.staticcheck.passes`) this
+    #: rule consumes.  The engine constructs exactly the union of the
+    #: *selected* rules' declarations, so ``--select R013`` builds the
+    #: seed-taint pass and nothing else — not the interval interpreter,
+    #: not the ordering classifier.
+    needs: Tuple[str, ...] = ()
 
     def check_module(self, module: ModuleInfo) -> Iterable[Violation]:
         return ()
@@ -770,11 +776,15 @@ class HygieneRule(Rule):
                 and test.comparators[0].value is None)
 
 
-#: The concurrency and dataflow rules live in their own modules; the
-#: imports sit at the bottom because both subclass Rule (defined above).
+#: The concurrency, dataflow, and provenance rules live in their own
+#: modules; the imports sit at the bottom because all subclass Rule
+#: (defined above).
 from .concurrency import CONCURRENCY_RULES  # noqa: E402
 from .dataflow import PackedKeyProofRule, WireConformanceRule  # noqa: E402
 from .nptypes import NumpyDtypeRule  # noqa: E402
+from .ordering import OrderingSoundnessRule  # noqa: E402
+from .provenance import (CanonicalSerializationRule,  # noqa: E402
+                         SeedProvenanceRule)
 
 #: The default rule set, in id order.
 RULES: Tuple[Rule, ...] = (
@@ -787,4 +797,7 @@ RULES: Tuple[Rule, ...] = (
     PackedKeyProofRule(),
     NumpyDtypeRule(),
     WireConformanceRule(),
+    SeedProvenanceRule(),
+    OrderingSoundnessRule(),
+    CanonicalSerializationRule(),
 )

@@ -93,7 +93,8 @@ def save_task_set(path: Union[str, Path], specs: Sequence[TaskSpec], *,
     """Write specs to ``path`` as pretty-printed JSON."""
     payload = task_set_to_dict(specs, quantum=quantum,
                                ticks_per_ms=ticks_per_ms)
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    Path(path).write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
 
 
 def load_task_set(path: Union[str, Path]) -> List[TaskSpec]:

@@ -574,3 +574,29 @@ class TestProgressAttribution:
         t.record_success(0.5)
         snap = t.snapshot(now=1.0, state="complete")
         assert list(snap["workers"]) == ["local"]
+
+
+class TestLeaseOrderDeterminism:
+    """Grant order is thread-scheduling order (whichever slot thread
+    asked first), so the re-lease scans must not leak it: expire() and
+    drop_worker() return sorted ids whatever order grants happened in."""
+
+    def _scrambled_table(self):
+        table = LeaseTable(["s1", "s2", "s3", "s4"])
+        first = table.lease("w1", now=0.0, timeout=10.0)   # grants s1
+        table.lease("w1", now=0.0, timeout=10.0)           # grants s2
+        assert table.fail("s1", first.epoch, max_retries=5)  # re-pends s1
+        for _ in range(3):  # grants s3, s4, then s1 again
+            assert table.lease("w1", now=0.0, timeout=10.0) is not None
+        # Internal insertion order is now grant order — not sorted.
+        assert list(table._leases) == ["s2", "s3", "s4", "s1"]
+        return table
+
+    def test_expire_returns_sorted_pairs(self):
+        table = self._scrambled_table()
+        assert table.expire(now=100.0) == [
+            ("s1", "w1"), ("s2", "w1"), ("s3", "w1"), ("s4", "w1")]
+
+    def test_drop_worker_returns_sorted_ids(self):
+        table = self._scrambled_table()
+        assert table.drop_worker("w1") == ["s1", "s2", "s3", "s4"]
