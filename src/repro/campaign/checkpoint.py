@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 from ..analysis.persistence import atomic_write_text
 from ..analysis.schedulability import SchedulabilityPoint
-from .spec import CampaignGrid, ShardSpec
+from .spec import CampaignGrid, GridLike, ShardSpec
 
 __all__ = ["CheckpointStore", "RunDirError",
            "point_to_dict", "point_from_dict"]
@@ -85,7 +85,7 @@ class CheckpointStore:
 
     # -- manifest -----------------------------------------------------
 
-    def initialize(self, grid: CampaignGrid, *,
+    def initialize(self, grid: GridLike, *,
                    model_fingerprint: Optional[str],
                    created: str, note: str = "") -> None:
         """Create the run directory and write its manifest.
@@ -140,8 +140,21 @@ class CheckpointStore:
         return data
 
     def load_grid(self) -> CampaignGrid:
-        """The campaign grid recorded in the manifest."""
-        return CampaignGrid.from_dict(self.load_manifest()["grid"])
+        """The synthetic campaign grid recorded in the manifest.
+
+        Trace-replay manifests (grid dicts carrying a ``"kind"`` tag)
+        are not plain :class:`CampaignGrid`\\ s — resuming one needs the
+        trace file back, which only the trace-aware CLI path can
+        supply, so this raises :class:`RunDirError` with that hint
+        instead of mis-parsing the dict.
+        """
+        grid = self.load_manifest()["grid"]
+        if isinstance(grid, dict) and "kind" in grid:
+            raise RunDirError(
+                f"{self.run_dir}: manifest holds a {grid['kind']!r} "
+                f"campaign, not a synthetic grid — resume it with "
+                f"--trace PATH so the trace payloads can be rebuilt")
+        return CampaignGrid.from_dict(grid)
 
     # -- shards -------------------------------------------------------
 

@@ -60,7 +60,7 @@ from ..util.toggles import fastpath_enabled
 from .checkpoint import CheckpointStore, RunDirError
 from .pool import discard_worker_pool, worker_pool
 from .progress import ProgressTracker
-from .spec import CampaignGrid, plan_shards
+from .spec import GridLike
 
 __all__ = ["RunnerConfig", "CampaignRunner", "CampaignIncomplete",
            "dispatch_jobs"]
@@ -332,19 +332,26 @@ class CampaignRunner:
     that never name a run directory).
     """
 
-    def __init__(self, grid: CampaignGrid,
+    def __init__(self, grid: GridLike,
                  worker: Callable[[Any], List[SchedulabilityPoint]], *,
                  config: Optional[RunnerConfig] = None,
                  store: Optional[CheckpointStore] = None,
                  model: Optional[OverheadModel] = None,
+                 payloads: Optional[Mapping[str, Any]] = None,
                  note: str = "") -> None:
         self.grid = grid
         self.worker = worker
         self.config = config or RunnerConfig()
         self.store = store
         self.model = model
+        # Per-shard extra job argument (trace-replay window payloads,
+        # keyed by shard id).  When set, jobs become (spec, model,
+        # payload) triples and the worker must accept them; the payload
+        # is pure data derived from the grid, so it never affects the
+        # checkpoint format or resume identity.
+        self.payloads = payloads
         self.note = note
-        self.progress = ProgressTracker(len(plan_shards(grid)))
+        self.progress = ProgressTracker(len(grid.plan()))
 
     def _model_fingerprint(self) -> Optional[str]:
         return None if self.model is None else repr(self.model)
@@ -362,7 +369,7 @@ class CampaignRunner:
         ``"interrupted"`` before the exception propagates — completed
         shards are already on disk, so the run resumes where it stopped.
         """
-        shards = plan_shards(self.grid)
+        shards = self.grid.plan()
         by_id = {s.shard_id: s for s in shards}
         results: Dict[str, List[SchedulabilityPoint]] = {}
         done_before: Set[str] = set()
@@ -404,7 +411,13 @@ class CampaignRunner:
             self.progress.record_retry(reason)
             self._write_status("running")
 
-        jobs = {s.shard_id: (s, self.model) for s in todo}
+        if self.payloads is None:
+            jobs: Dict[str, Any] = {s.shard_id: (s, self.model)
+                                    for s in todo}
+        else:
+            jobs = {s.shard_id: (s, self.model,
+                                 self.payloads[s.shard_id])
+                    for s in todo}
         try:
             failed = dispatch_jobs(jobs, self.worker, self.config,
                                    on_success=on_success,

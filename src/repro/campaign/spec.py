@@ -29,10 +29,10 @@ paper-scale set counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Protocol, Sequence, Tuple
 
-__all__ = ["CampaignGrid", "ShardSpec", "plan_shards", "shards_by_point",
-           "POINT_SEED_STRIDE", "REPLICA_SEED_STRIDE"]
+__all__ = ["CampaignGrid", "GridLike", "ShardSpec", "plan_shards",
+           "shards_by_point", "POINT_SEED_STRIDE", "REPLICA_SEED_STRIDE"]
 
 #: Seed offset between grid points (the 1000th prime) — unchanged from
 #: the original ``run_schedulability_campaign`` so engine results stay
@@ -41,6 +41,22 @@ POINT_SEED_STRIDE = 7919
 
 #: Seed offset between replicas of one point (the 10000th prime).
 REPLICA_SEED_STRIDE = 104729
+
+
+class GridLike(Protocol):
+    """What the runner and checkpoint store need from a campaign grid.
+
+    Any pure-data description that can (a) decompose itself into the
+    full ordered :class:`ShardSpec` list and (b) serialise itself for
+    the manifest qualifies — :class:`CampaignGrid` for synthetic
+    sweeps, :class:`repro.traces.replay.TraceGrid` for trace replay.
+    ``plan()`` must be deterministic (no I/O, clock, or RNG), because
+    resume replans and diffs against the checkpoint directory.
+    """
+
+    def plan(self) -> List["ShardSpec"]: ...
+
+    def to_dict(self) -> Dict[str, Any]: ...
 
 
 @dataclass(frozen=True)
@@ -93,6 +109,11 @@ class CampaignGrid:
                    sets_per_point=data["sets_per_point"],
                    seed=data["seed"],
                    replicas=data.get("replicas", 1))
+
+    def plan(self) -> "List[ShardSpec]":
+        """The grid's full ordered shard list (:func:`plan_shards`) —
+        the :class:`GridLike` entry point the runner calls."""
+        return plan_shards(self)
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,12 @@ Quick access to the library's main entry points without writing a script:
   fault-tolerant engine: shards checkpoint into a run directory, an
   interrupted run resumes byte-identically, ``status`` reports live
   progress (see docs/CAMPAIGNS.md); ``--workers host1:port,host2:port``
-  farms shards out to worker nodes (docs/DISTRIBUTED.md)
+  farms shards out to worker nodes (docs/DISTRIBUTED.md); ``--trace
+  log.swf`` replays real Standard Workload Format windows instead of
+  synthetic task sets (docs/TRACES.md)
+* ``traces info|fetch|convert`` — inspect an SWF log, download a public
+  archive log with mandatory SHA-256 verification, or convert a trace
+  window into a task-set JSON file (docs/TRACES.md)
 * ``worker --serve``        — run a shard-evaluation worker node for
   distributed campaigns
 * ``compare E/P [E/P...]`` — minimum processors under PD² vs EDF-FF with
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from .analysis.experiments import utilization_grid
@@ -39,6 +45,7 @@ from .core.task import PeriodicTask, TaskSet
 from .overheads.model import OverheadModel
 from .sim.quantum import simulate_pfair
 from .sim.trace import render_schedule, render_windows
+from .traces.mapping import MAPPING_POLICIES as MAPPING_POLICY_CHOICES
 from .workload.spec import TaskSpec
 
 if TYPE_CHECKING:
@@ -259,8 +266,88 @@ def _run_campaign_cli(args: argparse.Namespace, grid_args: tuple,
     return 0
 
 
+def _trace_window_offsets(args: argparse.Namespace) -> Tuple[int, ...]:
+    """Consecutive window offsets from ``--window-offset``/``--windows``."""
+    return tuple(args.window_offset + i * args.window
+                 for i in range(args.windows))
+
+
+def _run_trace_cli(args: argparse.Namespace, *, grid: "object",
+                   resume: bool) -> int:
+    """Shared body of ``campaign run --trace`` and its resume: route to
+    the local trace-replay driver or (with worker nodes) the distributed
+    coordinator, then print one figure table per trace window."""
+    from .campaign import CampaignIncomplete, RunDirError
+    from .distrib import DistribError
+    from .traces.mapping import MappingConfig
+    from .traces.swf import SWFError
+
+    try:
+        nodes = _campaign_nodes(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not Path(args.trace).is_file():
+        print(f"{args.trace}: no such trace file", file=sys.stderr)
+        return 2
+    if grid is None:
+        grid_kwargs = dict(
+            window_seconds=args.window,
+            window_offsets=_trace_window_offsets(args),
+            utilizations=utilization_grid(args.tasks, points=args.points),
+            n_tasks=args.tasks, sets_per_point=args.sets, seed=args.seed,
+            replicas=args.replicas,
+            mapping=MappingConfig(policy=args.policy))
+    else:
+        grid_kwargs = {}
+    try:
+        if nodes is not None:
+            from .distrib import run_distributed_trace_campaign
+
+            rows = run_distributed_trace_campaign(
+                args.trace, nodes=nodes, run_dir=args.run_dir,
+                resume=resume, config=_distrib_config(args), grid=grid,
+                progress=lambda msg: print(msg, file=sys.stderr),
+                **grid_kwargs)
+        else:
+            from .traces.replay import run_trace_campaign
+
+            rows = run_trace_campaign(
+                args.trace, run_dir=args.run_dir, resume=resume,
+                config=_campaign_config(args), grid=grid,
+                progress=lambda msg: print(msg, file=sys.stderr),
+                **grid_kwargs)
+    except (SWFError, RunDirError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except CampaignIncomplete as exc:
+        print(f"campaign incomplete: {exc}", file=sys.stderr)
+        return 1
+    except (DistribError, OSError) as exc:
+        print(f"distributed run failed: {exc}", file=sys.stderr)
+        return 1
+    if grid is not None:
+        offsets = grid.window_offsets
+        per = len(grid.utilizations)
+        n_tasks, sets = grid.n_tasks, grid.sets_per_point
+    else:
+        offsets = grid_kwargs["window_offsets"]
+        per = len(grid_kwargs["utilizations"])
+        n_tasks, sets = args.tasks, args.sets
+    formatter = fig4_table if args.fig == 4 else fig3_table
+    for wi, offset in enumerate(offsets):
+        print(f"[trace window @{offset}s]")
+        print(formatter(rows[wi * per:(wi + 1) * per], n_tasks, sets))
+    print(f"[trace campaign "
+          f"{'complete' if resume else 'checkpointed'} in {args.run_dir}]",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     _apply_fastpath_flag(args)
+    if args.trace is not None:
+        return _run_trace_cli(args, grid=None, resume=False)
     grid = utilization_grid(args.tasks, points=args.points)
     return _run_campaign_cli(
         args, (args.tasks, grid, args.sets, args.seed, args.replicas),
@@ -272,6 +359,34 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     from .campaign import CheckpointStore, RunDirError
 
     store = CheckpointStore(args.run_dir)
+    try:
+        manifest = store.load_manifest()
+    except (RunDirError, OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    grid_dict = manifest["grid"]
+    if isinstance(grid_dict, dict) and grid_dict.get("kind"):
+        # A trace-replay manifest: the run needs its log back to rebuild
+        # the window payloads (the manifest pins the expected SHA-256).
+        from .traces.replay import TraceGrid
+
+        if args.trace is None:
+            print(f"{args.run_dir} holds a {grid_dict['kind']!r} "
+                  f"campaign; pass --trace PATH (the original log, "
+                  f"SHA-256 {grid_dict.get('trace_sha256', '?')[:12]}...)",
+                  file=sys.stderr)
+            return 2
+        try:
+            trace_grid = TraceGrid.from_dict(grid_dict)
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"{args.run_dir}: malformed trace manifest: {exc}",
+                  file=sys.stderr)
+            return 2
+        return _run_trace_cli(args, grid=trace_grid, resume=True)
+    if args.trace is not None:
+        print(f"{args.run_dir} holds a synthetic campaign; --trace does "
+              f"not apply here", file=sys.stderr)
+        return 2
     try:
         grid = store.load_grid()
     except (RunDirError, OSError, ValueError) as exc:
@@ -533,6 +648,23 @@ def _add_campaign_commands(sub: "argparse._SubParsersAction[argparse.ArgumentPar
     cp.add_argument("--replicas", type=int, default=1,
                     help="shards per grid point (finer checkpoints and "
                          "more parallelism; changes the sampling split)")
+    cp.add_argument("--trace", default=None, metavar="LOG.swf",
+                    help="replay a Standard Workload Format log instead "
+                         "of synthetic task sets: windows of real jobs "
+                         "become the task pools (docs/TRACES.md)")
+    cp.add_argument("--window", type=int, default=3600, metavar="SECONDS",
+                    help="trace window width (default 3600)")
+    cp.add_argument("--windows", type=int, default=1, metavar="N",
+                    help="number of consecutive trace windows to replay")
+    cp.add_argument("--window-offset", type=int, default=0,
+                    metavar="SECONDS",
+                    help="offset of the first window from the earliest "
+                         "submit in the log")
+    cp.add_argument("--policy", choices=MAPPING_POLICY_CHOICES,
+                    default="runtime",
+                    help="job-to-task mapping policy: periods from "
+                         "runtimes or from inter-arrival gaps "
+                         "(docs/TRACES.md)")
     dispatch_opts(cp)
     cp.set_defaults(fn=_cmd_campaign_run)
 
@@ -541,6 +673,10 @@ def _add_campaign_commands(sub: "argparse._SubParsersAction[argparse.ArgumentPar
         help="finish an interrupted campaign (grid comes from the "
              "manifest; completed shards are skipped byte-for-byte)")
     cp.add_argument("run_dir", help="existing run directory")
+    cp.add_argument("--trace", default=None, metavar="LOG.swf",
+                    help="the original SWF log of a trace-replay run "
+                         "(required to resume one; the manifest pins its "
+                         "SHA-256)")
     dispatch_opts(cp)
     cp.set_defaults(fn=_cmd_campaign_resume)
 
@@ -552,6 +688,140 @@ def _add_campaign_commands(sub: "argparse._SubParsersAction[argparse.ArgumentPar
                     help="also print the per-shard table: producing "
                          "node, attempts, lease history")
     cp.set_defaults(fn=_cmd_campaign_status)
+
+
+def _cmd_traces_info(args: argparse.Namespace) -> int:
+    from .traces.mapping import MappingConfig, machine_size, segment_log
+    from .traces.swf import SWFError, parse_swf
+
+    try:
+        log = parse_swf(args.trace, strict=False)
+    except (SWFError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"trace: {log.name}")
+    for key, value in log.directives:
+        print(f"  ; {key}: {value}" if key else f"  ; {value}")
+    print(f"jobs: {len(log.jobs)}")
+    print(f"span: {log.span_seconds()} s")
+    try:
+        procs = machine_size(log, MappingConfig())
+        print(f"machine size: {procs} processor(s)")
+    except ValueError as exc:
+        print(f"machine size: unknown ({exc})")
+    windows = segment_log(log, args.window)
+    print(f"windows of {args.window} s with jobs: {len(windows)}")
+    for offset, jobs in windows:
+        print(f"  @{offset:>8}s  {len(jobs)} job(s)")
+    return 0
+
+
+def _cmd_traces_fetch(args: argparse.Namespace) -> int:
+    from .traces.fetch import TRACE_REGISTRY, TraceFetchError, fetch_trace
+
+    if args.list:
+        for name, source in sorted(TRACE_REGISTRY.items()):
+            print(f"{name}: {source.description}\n    {source.url}")
+        return 0
+    if args.trace is None or args.output is None:
+        print("fetch needs TRACE and OUTPUT (or --list)", file=sys.stderr)
+        return 2
+    try:
+        path = fetch_trace(args.trace, args.output, sha256=args.sha256)
+    except TraceFetchError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"fetched and verified: {path}")
+    return 0
+
+
+def _cmd_traces_convert(args: argparse.Namespace) -> int:
+    from .traces.mapping import (MappingConfig, machine_size, map_jobs,
+                                 scale_to_utilization, window_jobs)
+    from .traces.swf import SWFError, parse_swf
+    from .workload.io import save_task_set
+
+    try:
+        log = parse_swf(args.trace, strict=False)
+    except (SWFError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    config = MappingConfig(policy=args.policy)
+    try:
+        procs = machine_size(log, config)
+        jobs = window_jobs(log, args.window_offset, args.window)
+        if not jobs:
+            print(f"{log.name}: no jobs in the window "
+                  f"[{args.window_offset}, "
+                  f"{args.window_offset + args.window}) s", file=sys.stderr)
+            return 2
+        specs, rejected = map_jobs(jobs, config, max_procs=procs,
+                                   on_invalid="skip")
+        if not specs:
+            print(f"{log.name}: every job in the window was degenerate",
+                  file=sys.stderr)
+            return 2
+        if args.utilization is not None:
+            specs = scale_to_utilization(specs, args.utilization)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for job_id, reason in rejected:
+        print(f"skipped: {reason}", file=sys.stderr)
+    save_task_set(args.output, specs, quantum=config.quantum)
+    total = sum(s.execution / s.period for s in specs)
+    print(f"wrote {len(specs)} task(s) (U = {total:.3f}) to {args.output}")
+    return 0
+
+
+def _add_traces_commands(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    p = sub.add_parser(
+        "traces",
+        help="Standard Workload Format logs: inspect, fetch, convert "
+             "(docs/TRACES.md)")
+    tsub = p.add_subparsers(dest="traces_command", required=True)
+
+    tp = tsub.add_parser("info", help="parse an SWF log and summarise it")
+    tp.add_argument("trace", help="path to the .swf file")
+    tp.add_argument("--window", type=int, default=3600, metavar="SECONDS",
+                    help="window width for the occupancy summary "
+                         "(default 3600)")
+    tp.set_defaults(fn=_cmd_traces_info)
+
+    tp = tsub.add_parser(
+        "fetch",
+        help="download a workload-archive log with mandatory SHA-256 "
+             "verification")
+    tp.add_argument("trace", nargs="?", default=None,
+                    help="registry name (see --list) or a direct URL")
+    tp.add_argument("output", nargs="?", default=None,
+                    help="destination .swf path")
+    tp.add_argument("--sha256", default=None, metavar="HEX",
+                    help="expected digest of the decompressed log; "
+                         "required — downloads are refused without a "
+                         "pinned checksum")
+    tp.add_argument("--list", action="store_true",
+                    help="print the known trace registry and exit")
+    tp.set_defaults(fn=_cmd_traces_fetch)
+
+    tp = tsub.add_parser(
+        "convert",
+        help="map one trace window to a task-set JSON file "
+             "(usable with `repro compare --file`)")
+    tp.add_argument("trace", help="path to the .swf file")
+    tp.add_argument("output", help="task-set JSON output path")
+    tp.add_argument("--window", type=int, default=3600, metavar="SECONDS",
+                    help="window width (default 3600)")
+    tp.add_argument("--window-offset", type=int, default=0,
+                    metavar="SECONDS",
+                    help="offset from the earliest submit (default 0)")
+    tp.add_argument("--policy", choices=MAPPING_POLICY_CHOICES,
+                    default="runtime",
+                    help="job-to-task mapping policy (docs/TRACES.md)")
+    tp.add_argument("--utilization", type=float, default=None, metavar="U",
+                    help="rescale execution costs to this total "
+                         "utilization (periods keep the trace's shape)")
+    tp.set_defaults(fn=_cmd_traces_convert)
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -722,6 +992,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(fn=fn)
 
     _add_campaign_commands(sub)
+    _add_traces_commands(sub)
     _add_worker_command(sub)
     _add_service_commands(sub)
 

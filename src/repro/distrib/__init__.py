@@ -26,7 +26,7 @@ failure model are documented in ``docs/DISTRIBUTED.md``.
 from .coordinator import (Coordinator, DistribConfig, DistribError,
                           NodeSpec, parse_worker_nodes)
 from .lease import Lease, LeaseTable
-from .run import run_distributed_campaign
+from .run import run_distributed_campaign, run_distributed_trace_campaign
 from .wire import WORKER_PROTOCOL_VERSION, WORKER_VERBS
 from .worker import WorkerServer, serve_worker
 
@@ -43,4 +43,5 @@ __all__ = [
     "WorkerServer",
     "serve_worker",
     "run_distributed_campaign",
+    "run_distributed_trace_campaign",
 ]

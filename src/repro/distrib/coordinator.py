@@ -57,6 +57,7 @@ from ..campaign.sched import evaluate_shard
 from ..campaign.spec import ShardSpec
 from ..overheads.model import OverheadModel
 from ..service.protocol import ProtocolError, decode_line, encode
+from ..traces.replay import evaluate_trace_shard
 from .lease import LeaseTable
 from .wire import (WORKER_PROTOCOL_VERSION, is_heartbeat, model_to_wire,
                    points_from_wire, shard_run_request)
@@ -165,7 +166,8 @@ class Coordinator:
     def __init__(self, shards: Sequence[ShardSpec],
                  model: Optional[OverheadModel], *,
                  nodes: Sequence[NodeSpec] = (),
-                 config: Optional[DistribConfig] = None) -> None:
+                 config: Optional[DistribConfig] = None,
+                 payloads: Optional[Dict[str, Any]] = None) -> None:
         if not shards:
             raise ValueError("a distributed run needs at least one shard")
         self.config = config or DistribConfig()
@@ -179,6 +181,10 @@ class Coordinator:
             model_to_wire(model)
         self.nodes = tuple(nodes)
         self.model = model
+        # Trace-replay window payloads keyed by shard id (None for
+        # synthetic campaigns).  Shipped inside each shard-run frame —
+        # workers stay stateless, so any node can take any lease.
+        self.payloads = payloads
         self._by_id = {s.shard_id: s for s in shards}
         self._lock = threading.Lock()
         self._table = LeaseTable([s.shard_id for s in shards])
@@ -288,8 +294,11 @@ class Coordinator:
                         time.sleep(self.config.poll_interval_seconds)
                         continue
                     spec, epoch = leased
+                    trace = None if self.payloads is None \
+                        else self.payloads[spec.shard_id].to_wire()
                     stream.write(encode(
-                        {**shard_run_request(spec, self.model), "id": epoch}))
+                        {**shard_run_request(spec, self.model, trace),
+                         "id": epoch}))
                     stream.flush()
                     started = time.monotonic()
                     while True:
@@ -329,9 +338,16 @@ class Coordinator:
                     continue
                 spec, epoch = leased
                 started = time.monotonic()
+                if self.payloads is None:
+                    runner: Callable[..., Any] = evaluate_shard
+                    args: Tuple[Any, ...] = (spec, self.model)
+                else:
+                    runner = evaluate_trace_shard
+                    args = (spec, self.model,
+                            self.payloads[spec.shard_id])
                 try:
                     fut = worker_pool(self.config.local_jobs).submit(
-                        evaluate_shard, (spec, self.model))
+                        runner, args)
                     while True:
                         try:
                             points = fut.result(timeout=0.2)

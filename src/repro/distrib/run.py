@@ -13,6 +13,14 @@ and rows are assembled by the very same ``assemble_rows`` call — so
 pure-local uninterrupted run bit for bit (the CI ``distrib-smoke`` job
 and ``tests/test_distrib.py`` both assert it).
 
+:func:`run_distributed_trace_campaign` is the same machine pointed at a
+real log: the grid is a :class:`~repro.traces.replay.TraceGrid`, each
+``shard-run`` frame additionally carries its window's task pool, and
+rows come from ``assemble_trace_rows`` — the coordination, leasing,
+checkpointing, and resume code paths are literally shared
+(:func:`_drive`), so the trace path inherits every fault-tolerance
+property the synthetic path is tested for.
+
 A ``run_dir`` is **required** here, unlike the local path: the
 checkpoint run-dir *is* the coordination substrate — completed shards
 on disk are exactly the shards never leased again, which is what makes
@@ -29,7 +37,9 @@ file reads clocks for those snapshots and is R002 clock-exempt like
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Set, Union)
 
 from ..analysis.experiments import CampaignRow
 from ..analysis.persistence import save_campaign
@@ -38,11 +48,16 @@ from ..campaign.checkpoint import CheckpointStore, RunDirError
 from ..campaign.progress import ProgressTracker
 from ..campaign.runner import CampaignIncomplete, _utc_now
 from ..campaign.sched import assemble_rows
-from ..campaign.spec import CampaignGrid, plan_shards
+from ..campaign.spec import CampaignGrid, GridLike
 from ..overheads.model import OverheadModel
+from ..traces.mapping import MappingConfig
+from ..traces.replay import (TraceGrid, TraceWindowPayload,
+                             assemble_trace_rows, build_window_payloads)
+from ..traces.fetch import sha256_file
+from ..traces.swf import parse_swf
 from .coordinator import Coordinator, DistribConfig, NodeSpec
 
-__all__ = ["run_distributed_campaign"]
+__all__ = ["run_distributed_campaign", "run_distributed_trace_campaign"]
 
 
 def run_distributed_campaign(
@@ -73,13 +88,95 @@ def run_distributed_campaign(
     grid = CampaignGrid(n_tasks=n_tasks, utilizations=tuple(utilizations),
                         sets_per_point=sets_per_point, seed=seed,
                         replicas=replicas)
+    return _drive(
+        grid, nodes=nodes, run_dir=run_dir, model=model, resume=resume,
+        config=config, payloads=None,
+        assemble=lambda results: assemble_rows(grid, results,
+                                               progress=progress),
+        result_note=f"campaign N={grid.n_tasks} "
+                    f"({len(grid.utilizations)} points)",
+        manifest_note=f"distributed: {len(nodes)} node(s)")
+
+
+def run_distributed_trace_campaign(
+    trace_path: Union[str, Path],
+    *,
+    nodes: Sequence[NodeSpec],
+    run_dir: str,
+    utilizations: Sequence[float] = (),
+    n_tasks: int = 0,
+    window_seconds: int = 3600,
+    window_offsets: Sequence[int] = (0,),
+    sets_per_point: int = 50,
+    seed: int = 0,
+    mapping: Optional[MappingConfig] = None,
+    model: Optional[OverheadModel] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    replicas: int = 1,
+    resume: bool = False,
+    config: Optional[DistribConfig] = None,
+    grid: Optional[TraceGrid] = None,
+) -> List[CampaignRow]:
+    """A trace-replay campaign across a worker fleet.
+
+    Mirrors :func:`repro.traces.replay.run_trace_campaign` the way
+    :func:`run_distributed_campaign` mirrors the local synthetic path:
+    the trace file is hashed and pinned (resume refuses a modified
+    log), each window is mapped once here on the coordinator, and the
+    payloads ride inside the ``shard-run`` frames so worker nodes need
+    no access to the trace file.
+    """
+    path = Path(trace_path)
+    digest = sha256_file(path)
+    if grid is None:
+        grid = TraceGrid(trace_name=path.name, trace_sha256=digest,
+                         window_seconds=window_seconds,
+                         window_offsets=tuple(window_offsets),
+                         utilizations=tuple(utilizations),
+                         n_tasks=n_tasks, sets_per_point=sets_per_point,
+                         seed=seed, replicas=replicas,
+                         mapping=mapping or MappingConfig())
+    elif digest != grid.trace_sha256:
+        raise ValueError(
+            f"{path}: SHA-256 {digest} does not match the campaign's "
+            f"pinned trace {grid.trace_sha256} ({grid.trace_name}) — "
+            f"the log changed since the run started; resume needs the "
+            f"original file")
+    log = parse_swf(path, strict=False)
+    payloads, rejected = build_window_payloads(log, grid)
+    if rejected and progress is not None:
+        progress(f"skipped {len(rejected)} degenerate job(s) "
+                 f"(zero runtime / unusable width)")
+    final_grid = grid
+    return _drive(
+        grid, nodes=nodes, run_dir=run_dir, model=model, resume=resume,
+        config=config, payloads=payloads,
+        assemble=lambda results: assemble_trace_rows(final_grid, results,
+                                                     progress=progress),
+        result_note=f"trace-replay {grid.trace_name} "
+                    f"({len(grid.window_offsets)} window(s) x "
+                    f"{len(grid.utilizations)} points, "
+                    f"window={grid.window_seconds}s)",
+        manifest_note=f"distributed trace-replay: {len(nodes)} node(s)")
+
+
+def _drive(grid: GridLike, *, nodes: Sequence[NodeSpec], run_dir: str,
+           model: Optional[OverheadModel], resume: bool,
+           config: Optional[DistribConfig],
+           payloads: Optional[Mapping[str, TraceWindowPayload]],
+           assemble: Callable[[Dict[str, List[SchedulabilityPoint]]],
+                              List[CampaignRow]],
+           result_note: str, manifest_note: str) -> List[CampaignRow]:
+    """The shared coordination body: plan, restore, lease, checkpoint,
+    assemble.  Synthetic and trace campaigns differ only in the grid
+    that plans the shards, the optional per-shard payloads, and the
+    assembler — everything fault-tolerant lives here, once."""
     store = CheckpointStore(run_dir)
     fingerprint = None if model is None else repr(model)
     store.initialize(grid, model_fingerprint=fingerprint,
-                     created=_utc_now(),
-                     note=f"distributed: {len(nodes)} node(s)")
+                     created=_utc_now(), note=manifest_note)
 
-    shards = plan_shards(grid)
+    shards = grid.plan()
     by_id = {s.shard_id: s for s in shards}
     results: Dict[str, List[SchedulabilityPoint]] = {}
     done_before: Set[str] = set()
@@ -99,16 +196,29 @@ def run_distributed_campaign(
     tracker.start(time.monotonic())
     todo = [s for s in shards if s.shard_id not in done_before]
 
+    def finish() -> List[CampaignRow]:
+        rows = assemble(results)
+        # Same save_campaign call as the local path, argument for
+        # argument — the byte-identity contract.
+        save_campaign(store.result_path(), rows,
+                      seed=getattr(grid, "seed", 0),
+                      sets_per_point=getattr(grid, "sets_per_point", 0),
+                      note=result_note)
+        return rows
+
     if not todo:
         # Everything was already checkpointed: assemble and finish
         # without touching the fleet.
         store.write_status(tracker.snapshot(time.monotonic(),
                                             state="complete",
                                             updated=_utc_now()))
-        return _finish(store, grid, results, progress,
-                       seed=seed, sets_per_point=sets_per_point)
+        return finish()
 
-    coord = Coordinator(todo, model, nodes=nodes, config=config)
+    todo_payloads: Optional[Dict[str, Any]] = None
+    if payloads is not None:
+        todo_payloads = {s.shard_id: payloads[s.shard_id] for s in todo}
+    coord = Coordinator(todo, model, nodes=nodes, config=config,
+                        payloads=todo_payloads)
 
     def write_status(state: str) -> None:
         snap = tracker.snapshot(time.monotonic(), state=state,
@@ -141,21 +251,4 @@ def run_distributed_campaign(
         write_status("failed")
         raise CampaignIncomplete(failed)
     write_status("complete")
-    return _finish(store, grid, results, progress,
-                   seed=seed, sets_per_point=sets_per_point)
-
-
-def _finish(store: CheckpointStore, grid: CampaignGrid,
-            results: Dict[str, List[SchedulabilityPoint]],
-            progress: Optional[Callable[[str], None]], *,
-            seed: int, sets_per_point: int) -> List[CampaignRow]:
-    """Assemble rows and write ``result.json`` exactly as the local path
-    does — the same call, argument for argument, is the byte-identity
-    contract (compare :func:`repro.campaign.sched.
-    run_schedulability_campaign`)."""
-    rows = assemble_rows(grid, results, progress=progress)
-    save_campaign(store.result_path(), rows, seed=seed,
-                  sets_per_point=sets_per_point,
-                  note=f"campaign N={grid.n_tasks} "
-                       f"({len(grid.utilizations)} points)")
-    return rows
+    return finish()

@@ -101,16 +101,34 @@ def model_from_wire(data: Optional[Sequence[Any]]) -> Optional[OverheadModel]:
     return model
 
 
-def shard_run_request(spec: ShardSpec,
-                      model: Optional[OverheadModel]) -> Dict[str, Any]:
-    """The ``shard-run`` request body (the client layers the ``id`` on)."""
-    return {"verb": "shard-run", "shard": spec.to_dict(),
+def shard_run_request(spec: ShardSpec, model: Optional[OverheadModel],
+                      trace: Optional[Dict[str, Any]] = None
+                      ) -> Dict[str, Any]:
+    """The ``shard-run`` request body (the client layers the ``id`` on).
+
+    ``trace`` is a trace-replay window payload in wire form
+    (:meth:`repro.traces.replay.TraceWindowPayload.to_wire`); when
+    present the worker evaluates the shard against the trace pool
+    instead of the synthetic generator.  Absent for synthetic shards —
+    the key is omitted entirely, so protocol-v1 synthetic frames are
+    byte-identical to before.
+    """
+    body = {"verb": "shard-run", "shard": spec.to_dict(),
             "model": model_to_wire(model)}
+    if trace is not None:
+        body["trace"] = trace
+    return body
 
 
 def parse_shard_run(obj: Dict[str, Any]
-                    ) -> tuple[ShardSpec, Optional[OverheadModel]]:
-    """Validate and decode a ``shard-run`` request."""
+                    ) -> tuple[ShardSpec, Optional[OverheadModel],
+                               Optional[Dict[str, Any]]]:
+    """Validate and decode a ``shard-run`` request.
+
+    Returns ``(spec, model, trace)`` — ``trace`` is the raw wire
+    payload dict (``None`` for synthetic shards); the worker hands it
+    to the trace evaluator, which owns the deep decode.
+    """
     shard = obj.get("shard")
     if not isinstance(shard, dict):
         raise ProtocolError("bad-request",
@@ -120,7 +138,11 @@ def parse_shard_run(obj: Dict[str, Any]
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError("bad-request",
                             f"malformed shard spec: {exc}") from exc
-    return spec, model_from_wire(obj.get("model"))
+    trace = obj.get("trace")
+    if trace is not None and not isinstance(trace, dict):
+        raise ProtocolError("bad-request",
+                            "'trace' must be a payload object when present")
+    return spec, model_from_wire(obj.get("model")), trace
 
 
 def points_to_wire(points: Sequence[SchedulabilityPoint]

@@ -39,6 +39,7 @@ from ..campaign.sched import evaluate_shard
 from ..service.protocol import (MAX_LINE_BYTES, ProtocolError, decode_line,
                                 encode, error_response, ok_response,
                                 parse_request)
+from ..traces.replay import evaluate_trace_shard
 from ..util.metrics import Counter, LatencyHistogram
 from .wire import (WORKER_PROTOCOL_VERSION, WORKER_VERBS, heartbeat_frame,
                    parse_shard_run, points_to_wire)
@@ -92,7 +93,9 @@ class WorkerServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  jobs: int = 1, heartbeat_interval: float = 1.0,
                  max_pool_rebuilds: int = 1,
-                 evaluator: Optional[Callable[..., Any]] = None) -> None:
+                 evaluator: Optional[Callable[..., Any]] = None,
+                 trace_evaluator: Optional[Callable[..., Any]] = None
+                 ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be positive, got {jobs}")
         if heartbeat_interval <= 0:
@@ -100,10 +103,14 @@ class WorkerServer:
         self.jobs = jobs
         self.heartbeat_interval = heartbeat_interval
         self.max_pool_rebuilds = max_pool_rebuilds
-        #: Module-level shard evaluator (pool-picklable); tests inject
+        #: Module-level shard evaluators (pool-picklable); tests inject
         #: the fault-raising stand-ins from tests/campaign_fault_workers.
+        #: ``evaluator`` answers synthetic ``shard-run`` frames,
+        #: ``trace_evaluator`` the ones carrying a ``trace`` payload.
         self.evaluator = evaluator if evaluator is not None \
             else evaluate_shard
+        self.trace_evaluator = trace_evaluator \
+            if trace_evaluator is not None else evaluate_trace_shard
         self.metrics = _WorkerMetrics()
         self._host = host
         self._port = port
@@ -251,10 +258,14 @@ class WorkerServer:
     def _run_shard(self, rid: Any, obj: Dict[str, Any],
                    stream: BinaryIO) -> Dict[str, Any]:
         """Evaluate one shard in the pool, heartbeating while it runs."""
-        spec, model = parse_shard_run(obj)
+        spec, model, trace = parse_shard_run(obj)
+        if trace is None:
+            runner, args = self.evaluator, (spec, model)
+        else:
+            runner, args = self.trace_evaluator, (spec, model, trace)
         started = time.monotonic()
         rebuilds = 0
-        fut = worker_pool(self.jobs).submit(self.evaluator, (spec, model))
+        fut = worker_pool(self.jobs).submit(runner, args)
         while True:
             try:
                 points = fut.result(timeout=self.heartbeat_interval)
@@ -276,8 +287,7 @@ class WorkerServer:
                         rid, "worker-death",
                         f"shard {spec.shard_id} killed its pool worker "
                         f"{rebuilds} time(s); rebuild budget exhausted")
-                fut = worker_pool(self.jobs).submit(self.evaluator,
-                                                    (spec, model))
+                fut = worker_pool(self.jobs).submit(runner, args)
             except Exception as exc:  # the shard itself raised
                 self.metrics.record_shard(
                     "error", 0, time.monotonic() - started)

@@ -640,7 +640,7 @@ class OrderingSoundnessRule(Rule):
     #: package itself is out of scope (a linter's finding order is
     #: sorted at the engine level, not per-loop).
     SCOPE_PACKAGES = ("core", "sim", "campaign", "workload", "distrib",
-                      "service", "analysis")
+                      "service", "analysis", "traces")
 
     def check_project(self, project: "ProjectIndex"
                       ) -> Iterator[Violation]:

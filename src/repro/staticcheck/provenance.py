@@ -366,7 +366,9 @@ class SeedProvenanceRule(Rule):
 
     #: Where the reproducibility contract applies.  ``sync/`` and
     #: ``analysis/`` own their seeds (demo scripts, post-hoc sampling).
-    SCOPE_PACKAGES = ("core", "sim", "campaign", "workload")
+    #: ``traces/`` is in: the trace-replay worker's subsampling RNG must
+    #: come from the planner's shard-seed arithmetic, like any shard.
+    SCOPE_PACKAGES = ("core", "sim", "campaign", "workload", "traces")
 
     def check_project(self, project: "ProjectIndex") -> Iterator[Violation]:
         analysis: SeedTaintAnalysis = project_pass(  # type: ignore[assignment]
@@ -410,7 +412,7 @@ class CanonicalSerializationRule(Rule):
                    "pin separators= or indent=")
 
     SCOPE_PACKAGES = ("core", "sim", "campaign", "workload", "distrib",
-                      "service", "analysis")
+                      "service", "analysis", "traces")
 
     def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
         if module.package not in self.SCOPE_PACKAGES:

@@ -238,16 +238,22 @@ class DeterminismRule(Rule):
     ``distrib/`` inherits the same contract — wire codecs and the lease
     table are clock-free; only the three process-facing files (worker
     server, coordinator, run driver) may read clocks, for heartbeats,
-    lease deadlines, and status snapshots.  Environment toggles live in
-    ``util/toggles.py`` — the one sanctioned read point.
+    lease deadlines, and status snapshots.  ``traces/`` is in scope
+    because trace-replay campaigns promise the same byte-identical
+    resume: the SWF parser and job→task mapping must be pure functions
+    of the log, and the replay worker's only randomness is the
+    planner-seeded ``default_rng`` (per docs/DETERMINISM.md).
+    Environment toggles live in ``util/toggles.py`` — the one
+    sanctioned read point.
     """
 
     rule_id = "R002"
     name = "determinism"
     description = ("no seedless RNGs, wall-clock reads, or environment "
-                   "reads in core/ + sim/ + campaign/ + distrib/")
+                   "reads in core/ + sim/ + campaign/ + distrib/ + "
+                   "traces/")
 
-    SCOPE_PACKAGES = ("core", "sim", "campaign", "distrib")
+    SCOPE_PACKAGES = ("core", "sim", "campaign", "distrib", "traces")
     #: Files in scope that may read wall clocks: the campaign *runner*
     #: owns retry backoff, timeouts, throughput metering, and run-metadata
     #: timestamps — all of which live outside the determinism contract
@@ -391,6 +397,7 @@ LAYERS: Dict[str, int] = {
     "analysis": 6,
     "campaign": 7,
     "service": 8,
+    "traces": 8,
     "distrib": 9,
 }
 
@@ -414,7 +421,8 @@ class LayeringRule(Rule):
     name = "layering"
     description = ("package imports must follow the DAG util → core → "
                    "workload → overheads/partition → sim → sync/fault → "
-                   "analysis → campaign → service → distrib; no cycles")
+                   "analysis → campaign → service/traces → distrib; "
+                   "no cycles")
 
     def _imports_of(self, module: ModuleInfo) -> Iterator[Tuple[str, ast.AST]]:
         """Top-level repro packages imported by ``module`` (resolving

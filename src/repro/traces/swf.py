@@ -1,0 +1,267 @@
+"""Standard Workload Format (SWF): strict, stdlib-only parsing.
+
+The SWF is the lingua franca of the Parallel Workloads Archive: one
+job per line, 18 whitespace-separated numeric fields, preceded by
+header *directives* — comment lines of the form ``; Key: Value``
+(``MaxProcs``, ``UnixStartTime``, ...).  A value of ``-1`` marks an
+anonymized or unknown field.  The field order is fixed by the format
+(v2.2) and mirrored by :data:`FIELD_NAMES`:
+
+====  =====================  =============================================
+ #    field                  meaning (all integers, seconds/KB/ids)
+====  =====================  =============================================
+ 1    job_id                 job number, usually counting from 1
+ 2    submit_time            arrival, seconds since the log's start
+ 3    wait_time              queue wait in seconds
+ 4    run_time               actual runtime in seconds
+ 5    used_procs             processors actually allocated
+ 6    avg_cpu_time           average per-processor CPU seconds
+ 7    used_memory            average per-processor memory (KB)
+ 8    req_procs              processors requested
+ 9    req_time               requested/estimated runtime in seconds
+10    req_memory             requested memory per processor (KB)
+11    status                 1 completed, 0 failed, 5 cancelled, ...
+12    user_id                anonymized submitting user
+13    group_id               anonymized group
+14    executable             anonymized application id
+15    queue                  queue/class number
+16    partition              partition number
+17    preceding_job          dependency: job this one waited for
+18    think_time             seconds between that job's end and submit
+====  =====================  =============================================
+
+Everything here is pure, deterministic machinery — no clocks, no RNG,
+no environment reads (staticcheck R002 covers ``traces``): text in,
+typed :class:`SWFJob`/:class:`SWFLog` records out, with pointed
+:class:`SWFError` diagnostics (``path:line: field N (name): ...``) on
+malformed input.  ``strict=True`` (the default) accepts only integral
+values; ``strict=False`` additionally rounds the fractional seconds
+some archive logs carry in the time fields.  :func:`serialize_swf` is
+the exact inverse on parsed data: ``parse(serialize(parse(text))) ==
+parse(text)`` (the hypothesis round-trip in ``tests/test_traces.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+__all__ = ["FIELD_NAMES", "SWFError", "SWFJob", "SWFLog",
+           "parse_swf", "parse_swf_text", "serialize_swf"]
+
+#: The 18 record fields, in on-disk column order (SWF v2.2).
+FIELD_NAMES = (
+    "job_id", "submit_time", "wait_time", "run_time", "used_procs",
+    "avg_cpu_time", "used_memory", "req_procs", "req_time", "req_memory",
+    "status", "user_id", "group_id", "executable", "queue", "partition",
+    "preceding_job", "think_time",
+)
+
+
+class SWFError(ValueError):
+    """A log line violates the Standard Workload Format.  The message
+    always carries ``path:line`` and, for field errors, the 1-based
+    column and field name, so archive-sized logs stay debuggable."""
+
+
+@dataclass(frozen=True, slots=True)
+class SWFJob:
+    """One job record — the 18 SWF fields, as plain integers.
+
+    ``-1`` anywhere means "anonymized/unknown" per the format; nothing
+    here interprets the fields (that is :mod:`repro.traces.mapping`'s
+    job), so a parsed log is a lossless, typed view of the file.
+    """
+
+    job_id: int
+    submit_time: int
+    wait_time: int
+    run_time: int
+    used_procs: int
+    avg_cpu_time: int
+    used_memory: int
+    req_procs: int
+    req_time: int
+    req_memory: int
+    status: int
+    user_id: int
+    group_id: int
+    executable: int
+    queue: int
+    partition: int
+    preceding_job: int
+    think_time: int
+
+    def to_fields(self) -> Tuple[int, ...]:
+        """The record as its 18 on-disk columns, in order."""
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+    @classmethod
+    def from_fields(cls, values: Tuple[int, ...]) -> "SWFJob":
+        """Rebuild a record from its column tuple (inverse of
+        :meth:`to_fields`)."""
+        if len(values) != len(FIELD_NAMES):
+            raise ValueError(f"an SWF record has {len(FIELD_NAMES)} "
+                             f"fields, got {len(values)}")
+        return cls(*[int(v) for v in values])
+
+    def to_line(self) -> str:
+        """The record as one canonical (single-space) SWF line."""
+        return " ".join(str(v) for v in self.to_fields())
+
+
+@dataclass(frozen=True)
+class SWFLog:
+    """A parsed log: header directives (in file order) plus job records.
+
+    ``directives`` preserves every ``;`` header line as a ``(key,
+    value)`` pair — ``("MaxProcs", "240")`` for ``; MaxProcs: 240``,
+    and ``("", text)`` for bare comments without a colon.  ``name`` is
+    provenance only (the parsed path) and excluded from equality so the
+    round-trip identity is about *content*.
+    """
+
+    directives: Tuple[Tuple[str, str], ...] = ()
+    jobs: Tuple[SWFJob, ...] = ()
+    name: str = field(default="<swf>", compare=False)
+
+    def directive(self, key: str) -> Optional[str]:
+        """The last value of a header directive, matched
+        case-insensitively (``MaxProcs`` vs ``maxprocs`` drift exists
+        in the wild); ``None`` when absent."""
+        want = key.lower()
+        found: Optional[str] = None
+        for k, v in self.directives:
+            if k.lower() == want:
+                found = v
+        return found
+
+    def _int_directive(self, key: str) -> Optional[int]:
+        raw = self.directive(key)
+        if raw is None:
+            return None
+        try:
+            return int(raw.split()[0])
+        except (ValueError, IndexError):
+            return None
+
+    @property
+    def max_procs(self) -> Optional[int]:
+        """The machine size from the ``MaxProcs`` header (``None`` when
+        the log does not declare one — see :func:`repro.traces.mapping.
+        machine_size` for the observed-width fallback)."""
+        value = self._int_directive("MaxProcs")
+        return value if value is not None and value > 0 else None
+
+    @property
+    def unix_start_time(self) -> Optional[int]:
+        """The log's epoch (``UnixStartTime`` header), when declared."""
+        return self._int_directive("UnixStartTime")
+
+    def span_seconds(self) -> int:
+        """Seconds from the first submit to the last (0 when empty)."""
+        if not self.jobs:
+            return 0
+        submits = [j.submit_time for j in self.jobs]
+        return max(submits) - min(submits)
+
+
+def _parse_field(token: str, index: int, *, where: str,
+                 strict: bool) -> int:
+    """One numeric column, with the format's integer discipline."""
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        value = float(token)
+    except ValueError:
+        raise SWFError(f"{where}: field {index + 1} "
+                       f"({FIELD_NAMES[index]}) is not a number: "
+                       f"{token!r}") from None
+    if not math.isfinite(value):
+        raise SWFError(f"{where}: field {index + 1} "
+                       f"({FIELD_NAMES[index]}) is not finite: {token!r}")
+    if value != int(value):
+        if strict:
+            raise SWFError(
+                f"{where}: field {index + 1} ({FIELD_NAMES[index]}) has "
+                f"fractional seconds ({token!r}); some archive logs do "
+                f"— re-parse with strict=False to round to whole "
+                f"seconds")
+        return round(value)
+    return int(value)
+
+
+def _parse_directive(line: str) -> Tuple[str, str]:
+    """``"; Key: Value"`` → ``("Key", "Value")``; bare comments keep an
+    empty key.  (A bare comment containing a colon is indistinguishable
+    from a directive and re-parses as one — parsed logs are already
+    canonical, so the round-trip identity is unaffected.)"""
+    body = line.lstrip(";").strip()
+    key, sep, value = body.partition(":")
+    if not sep:
+        return ("", body)
+    return (key.strip(), value.strip())
+
+
+def _iter_lines(text: str) -> Iterator[Tuple[int, str]]:
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if line:
+            yield lineno, line
+
+
+def parse_swf_text(text: str, *, name: str = "<swf>",
+                   strict: bool = True) -> SWFLog:
+    """Parse SWF text into a typed :class:`SWFLog`.
+
+    Header directives may only precede the first job record (the format
+    puts all ``;`` lines up front; a stray comment between records is a
+    malformed log and is reported as one).  Raises :class:`SWFError`
+    with ``name:line`` context on any violation.
+    """
+    directives: list[Tuple[str, str]] = []
+    jobs: list[SWFJob] = []
+    for lineno, line in _iter_lines(text):
+        if line.startswith(";"):
+            if jobs:
+                raise SWFError(
+                    f"{name}:{lineno}: header directive after the first "
+                    f"job record — SWF headers must precede all jobs")
+            directives.append(_parse_directive(line))
+            continue
+        tokens = line.split()
+        if len(tokens) != len(FIELD_NAMES):
+            raise SWFError(
+                f"{name}:{lineno}: expected {len(FIELD_NAMES)} fields "
+                f"(SWF v2.2 job record), got {len(tokens)}")
+        where = f"{name}:{lineno}"
+        jobs.append(SWFJob.from_fields(tuple(
+            _parse_field(tok, i, where=where, strict=strict)
+            for i, tok in enumerate(tokens))))
+    return SWFLog(directives=tuple(directives), jobs=tuple(jobs),
+                  name=name)
+
+
+def parse_swf(path: Union[str, Path], *, strict: bool = True) -> SWFLog:
+    """Parse an SWF file from disk (see :func:`parse_swf_text`)."""
+    p = Path(path)
+    return parse_swf_text(p.read_text(encoding="utf-8", errors="strict"),
+                          name=str(p), strict=strict)
+
+
+def serialize_swf(log: SWFLog) -> str:
+    """The log as canonical SWF text: ``; Key: Value`` headers in
+    order, then one single-space job line per record, trailing newline.
+    ``parse_swf_text(serialize_swf(log)) == log`` for any parsed log."""
+    lines: list[str] = []
+    for key, value in log.directives:
+        if key:
+            lines.append(f"; {key}: {value}" if value else f"; {key}:")
+        else:
+            lines.append(f"; {value}" if value else ";")
+    lines.extend(job.to_line() for job in log.jobs)
+    return "\n".join(lines) + ("\n" if lines else "")

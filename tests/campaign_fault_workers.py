@@ -29,6 +29,7 @@ __all__ = [
     "exit_job",
     "sleep_job",
     "failing_shard",
+    "failing_trace_shard",
     "dying_shard",
     "slow_shard",
 ]
@@ -78,6 +79,18 @@ def failing_shard(args):
     if spec.shard_id == os.environ.get(FAIL_SHARD_ENV):
         raise RuntimeError(f"injected failure for {spec.shard_id}")
     return evaluate_shard(args)
+
+
+def failing_trace_shard(args):
+    """Trace-shard evaluator (3-tuple args: spec, model, payload) that
+    raises on the env-selected shard, every attempt — the trace twin of
+    :func:`failing_shard` for the crash/resume byte-identity test."""
+    from repro.traces.replay import evaluate_trace_shard
+
+    spec, _model, _payload = args
+    if spec.shard_id == os.environ.get(FAIL_SHARD_ENV):
+        raise RuntimeError(f"injected failure for {spec.shard_id}")
+    return evaluate_trace_shard(args)
 
 
 def dying_shard(args):

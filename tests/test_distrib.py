@@ -124,10 +124,23 @@ class TestWire:
     def test_shard_run_round_trip(self):
         spec = plan_shards(GRID)[0]
         req = shard_run_request(spec, OverheadModel())
-        back_spec, back_model = parse_shard_run(
+        assert "trace" not in req  # synthetic frames stay protocol-v1
+        back_spec, back_model, back_trace = parse_shard_run(
             json.loads(encode(req).decode()))
         assert back_spec == spec
         assert back_model is not None
+        assert back_trace is None
+
+    def test_shard_run_round_trip_with_trace(self):
+        spec = plan_shards(GRID)[0]
+        trace = {"window_offset": 0, "tasks": [["J1", 100, 1000, 1]]}
+        req = shard_run_request(spec, None, trace)
+        _spec, _model, back_trace = parse_shard_run(
+            json.loads(encode(req).decode()))
+        assert back_trace == trace
+        with pytest.raises(ProtocolError):
+            parse_shard_run({"verb": "shard-run", "shard": spec.to_dict(),
+                             "trace": "nope"})
 
     def test_parse_shard_run_rejects_junk(self):
         with pytest.raises(ProtocolError):
